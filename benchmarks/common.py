@@ -1,0 +1,79 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation figures
+(Figs. 2, 8-13) or an ablation, prints the paper-vs-measured comparison,
+and asserts the qualitative shape (who wins, oscillation, overhead band).
+
+Runs are expensive, so they are memoized per (engine, mode, config): the
+summary figures (9, 11, 13) reuse the series figures' (8, 10, 12) runs.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — linear size scale (default 2048, the scale
+  EXPERIMENTS.md quotes; scale-1024 spot checks are recorded there too);
+* ``REPRO_BENCH_DURATION`` — virtual seconds per run (default 20,000,
+  the paper's full test length; lower it for smoke runs — the level-2
+  phenomena need at least ~13,000).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.sim.experiment import run_experiment
+from repro.sim.metrics import RunResult
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "2048"))
+BENCH_DURATION = int(os.environ.get("REPRO_BENCH_DURATION", "20000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+#: The database-size figures (12/13) hinge on the level-2 merge round,
+#: which happens at ~10,240 virtual seconds at every scale (the fill
+#: periods are scale-invariant by design), so those runs need to be
+#: longer than the default smoke duration.
+SIZE_DURATION = max(BENCH_DURATION, 13_000)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_run_cache: dict[tuple, RunResult] = {}
+
+
+def bench_config(**overrides) -> SystemConfig:
+    """The scaled paper configuration used by all benchmarks."""
+    config = SystemConfig.paper_scaled(BENCH_SCALE)
+    if overrides:
+        config = config.replace(**overrides)
+    return config
+
+
+def run_cached(
+    engine: str,
+    scan_mode: bool = False,
+    duration: int | None = None,
+    **config_overrides,
+) -> RunResult:
+    """Run (or reuse) one experiment; memoized across benchmark files."""
+    duration = duration if duration is not None else BENCH_DURATION
+    key = (engine, scan_mode, duration, tuple(sorted(config_overrides.items())))
+    if key not in _run_cache:
+        config = bench_config(**config_overrides)
+        _run_cache[key] = run_experiment(
+            engine, config, duration_s=duration, seed=BENCH_SEED,
+            scan_mode=scan_mode,
+        )
+    return _run_cache[key]
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a figure's paper-vs-measured report and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

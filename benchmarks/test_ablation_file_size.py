@@ -1,0 +1,113 @@
+"""Ablation A1 — compaction-buffer file size vs trim precision (§IV-C).
+
+The paper's argument for the super-file layer: the underlying tree wants
+*large* compaction units (fewer I/Os per merged byte), while the
+compaction buffer wants *small* trim units — "the file with a larger key
+range has a higher possibility to contain both frequently and
+infrequently visited data".
+
+This is a deterministic micro-benchmark of exactly that trade-off: a
+buffer table covers a key space whose first 40% is hot (fully cached);
+the trim process (80% threshold) then decides file by file.  Files that
+straddle the hot/cold boundary — more of them, proportionally, as files
+grow — are mis-classified, so the *retention error* against the ideal
+(keep the hot bytes, drop the cold bytes) grows with file size, while the
+underlying tree's compaction I/O count shrinks.  That tension is why
+LSbM compacts super-files but trims files.
+"""
+
+from __future__ import annotations
+
+from repro.clock import VirtualClock
+from repro.config import SystemConfig
+from repro.core.compaction_buffer import BufferLevel
+from repro.core.trim import TrimProcess
+from repro.sim.report import ascii_table
+from repro.sstable.builder import TableBuilder
+from repro.sstable.entry import Entry
+from repro.sstable.sorted_table import SortedTable
+from repro.sstable.sstable import FileIdSource
+from repro.sstable.superfile import SuperFileIdSource
+from repro.storage.disk import SimulatedDisk
+
+from .common import once, write_report
+
+KEYSPACE = 4096
+HOT_KEYS = 1640  # ~40% hot; deliberately not aligned to file boundaries.
+FILE_SIZES_KB = (8, 32, 128)
+
+
+def _trim_error(file_size_kb: int) -> tuple[int, int, float]:
+    """Returns (kept_kb, ideal_kb, compaction units per level of data)."""
+    config = SystemConfig.tiny().replace(
+        file_size_kb=file_size_kb,
+        level0_size_kb=max(file_size_kb, 64),
+        unique_keys=KEYSPACE,
+    )
+    disk = SimulatedDisk(VirtualClock(), config.seq_bandwidth_kb_per_s)
+    builder = TableBuilder(config, disk, FileIdSource(), SuperFileIdSource())
+    files = builder.build(iter(Entry(k, 1) for k in range(KEYSPACE)))
+
+    # Simulate a cache that holds exactly the hot prefix of the key space.
+    cached: dict[int, int] = {}
+    for file in files:
+        cached[file.file_id] = sum(
+            1 for block in file.blocks if block.max_key < HOT_KEYS
+        )
+
+    level = BufferLevel(1)
+    level.tables = [SortedTable(), SortedTable(files)]  # Old table trimmed.
+    trim = TrimProcess(
+        config,
+        cached_blocks=lambda fid: cached.get(fid, 0),
+        remove_file=lambda f: f.mark_removed(),
+    )
+    trim.run([level])
+
+    kept_kb = sum(f.size_kb for f in files if not f.removed)
+    ideal_kb = HOT_KEYS * config.pair_size_kb
+    units_per_level = KEYSPACE * config.pair_size_kb / file_size_kb
+    return kept_kb, ideal_kb, units_per_level
+
+
+def test_ablation_file_size_trim_precision(benchmark):
+    results = once(
+        benchmark, lambda: {s: _trim_error(s) for s in FILE_SIZES_KB}
+    )
+    rows = []
+    errors = {}
+    for size in FILE_SIZES_KB:
+        kept, ideal, units = results[size]
+        errors[size] = abs(kept - ideal)
+        rows.append(
+            [
+                f"{size} KB",
+                f"{kept:,}",
+                f"{ideal:,}",
+                f"{errors[size]:,}",
+                f"{units:,.0f}",
+            ]
+        )
+    report = "\n".join(
+        [
+            "Ablation A1 — file size: trim precision vs compaction units",
+            "(paper §IV-C: buffer wants small files, the tree wants large ones)",
+            ascii_table(
+                [
+                    "file size",
+                    "kept KB",
+                    "ideal KB",
+                    "retention error KB",
+                    "compaction ops/level",
+                ],
+                rows,
+            ),
+        ]
+    )
+    write_report("ablation_file_size", report)
+
+    # Bigger trim units can only blur the hot/cold boundary…
+    assert errors[FILE_SIZES_KB[0]] <= errors[FILE_SIZES_KB[-1]]
+    assert errors[FILE_SIZES_KB[-1]] > 0
+    # …while shrinking the underlying tree's per-level compaction count.
+    assert results[FILE_SIZES_KB[-1]][2] < results[FILE_SIZES_KB[0]][2]

@@ -1,0 +1,78 @@
+"""Ablation A7 — HBase-style minor/major compaction (Section VII).
+
+The paper's related-work section: "disabling major compaction during run
+time mainly reduces the compaction of old data ... this approach cannot
+avoid the interference from compactions to buffer caching.  In practice,
+HBase still suffers low read performance during intensive writes" — and,
+"just like SM", lazy compaction trades that interference for piled-up
+obsolete data and weak range queries.
+
+Both horns of the dilemma, measured:
+
+* **majors on** — the periodic whole-store rewrites invalidate the cached
+  hot set, so the point-read hit ratio falls below LSbM's;
+* **majors off** — invalidations stop, but the store degenerates into an
+  SM-tree: sorted tables pile up, range queries pay for every one of
+  them (below LSbM), and obsolete data inflates the database.
+"""
+
+from __future__ import annotations
+
+from repro.sim.report import ascii_table
+
+from .common import once, run_cached, write_report
+
+DURATION = 8000
+
+
+def _runs():
+    return {
+        ("hbase", "point"): run_cached("hbase", duration=DURATION),
+        ("hbase-nomajor", "point"): run_cached(
+            "hbase-nomajor", duration=DURATION
+        ),
+        ("lsbm", "point"): run_cached("lsbm", duration=DURATION),
+        ("hbase-nomajor", "range"): run_cached(
+            "hbase-nomajor", scan_mode=True, duration=DURATION
+        ),
+        ("lsbm", "range"): run_cached("lsbm", scan_mode=True, duration=DURATION),
+    }
+
+
+def test_ablation_hbase_interference(benchmark):
+    runs = once(benchmark, _runs)
+    rows = [
+        [
+            engine,
+            mode,
+            f"{runs[(engine, mode)].mean_hit_ratio():.3f}",
+            f"{runs[(engine, mode)].mean_throughput():,.0f}",
+            f"{runs[(engine, mode)].mean_db_size_mb():,.0f}",
+        ]
+        for engine, mode in runs
+    ]
+    report = "\n".join(
+        [
+            "Ablation A7 — HBase-style compaction vs LSbM (Section VII)",
+            ascii_table(["engine", "reads", "hit", "QPS", "DB MB"], rows),
+        ]
+    )
+    write_report("ablation_hbase", report)
+
+    # Horn 1: with major compactions running, the whole-store rewrites
+    # invalidate the hot set — point-read hit ratio below LSbM's.
+    assert (
+        runs[("hbase", "point")].mean_hit_ratio()
+        < runs[("lsbm", "point")].mean_hit_ratio()
+    )
+    # Horn 2a: disabling majors piles up obsolete data on disk.
+    assert (
+        runs[("hbase-nomajor", "point")].mean_db_size_mb()
+        > runs[("hbase", "point")].mean_db_size_mb()
+    )
+    # Horn 2b: …and the piled sorted tables drag range queries below
+    # LSbM, which keeps a fully sorted underlying tree.
+    assert (
+        runs[("hbase-nomajor", "range")].mean_throughput()
+        < runs[("lsbm", "range")].mean_throughput()
+    )

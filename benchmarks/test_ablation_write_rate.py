@@ -1,0 +1,83 @@
+"""Ablation A8 — sensitivity to write intensity.
+
+The paper fixes writes at 1,000 OPS.  This sweep scales the write rate to
+0.5x / 1x / 2x of that and maps out where the compaction buffer pays:
+with light writes there is little invalidation to protect against (the
+buffer is ~neutral — its blocks even compete with the tree's for cache);
+at and above the paper's write intensity, compaction churn bites and the
+protection turns into a clear throughput advantage — the regime the
+paper's title ("mixed reads and writes") is about.
+"""
+
+from __future__ import annotations
+
+from repro.sim.report import ascii_table
+
+from .common import bench_config, once, run_cached, write_report
+
+MULTIPLIERS = (0.5, 1.0, 2.0)
+DURATION = 6000
+
+
+def _sweep():
+    base_rate = bench_config().write_rate_pairs_per_s
+    runs = {}
+    for multiplier in MULTIPLIERS:
+        for engine in ("blsm", "lsbm"):
+            runs[(engine, multiplier)] = run_cached(
+                engine,
+                duration=DURATION,
+                write_rate_pairs_per_s=base_rate * multiplier,
+            )
+    return runs
+
+
+def test_ablation_write_rate(benchmark):
+    runs = once(benchmark, _sweep)
+    rows = []
+    advantage = {}
+    for multiplier in MULTIPLIERS:
+        blsm = runs[("blsm", multiplier)]
+        lsbm = runs[("lsbm", multiplier)]
+        advantage[multiplier] = lsbm.mean_throughput() / max(
+            1.0, blsm.mean_throughput()
+        )
+        rows.append(
+            [
+                f"{multiplier:g}x",
+                f"{blsm.mean_hit_ratio():.3f}",
+                f"{lsbm.mean_hit_ratio():.3f}",
+                f"{blsm.mean_throughput():,.0f}",
+                f"{lsbm.mean_throughput():,.0f}",
+                f"{advantage[multiplier]:.2f}x",
+            ]
+        )
+    report = "\n".join(
+        [
+            "Ablation A8 — write-rate sweep (paper fixes 1,000 OPS = 1x)",
+            ascii_table(
+                [
+                    "write rate",
+                    "bLSM hit",
+                    "LSbM hit",
+                    "bLSM qps",
+                    "LSbM qps",
+                    "LSbM advantage",
+                ],
+                rows,
+            ),
+        ]
+    )
+    write_report("ablation_write_rate", report)
+
+    # More writes hurt everyone's reads…
+    assert (
+        runs[("blsm", 2.0)].mean_throughput()
+        < runs[("blsm", 0.5)].mean_throughput()
+    )
+    # …LSbM wins clearly at and above the paper's write intensity…
+    assert advantage[1.0] > 1.05, advantage
+    assert advantage[2.0] > 1.0, advantage
+    # …and is at worst neutral when writes are light (little churn to
+    # protect against, some cache spent on duplicate buffer blocks).
+    assert advantage[0.5] > 0.9, advantage

@@ -1,0 +1,64 @@
+"""Ablation A6 — write-pacing: gear scheduling vs bursty compaction.
+
+LSbM inherits bLSM's gear scheduler precisely because of write latency:
+"data can be inserted into C0 with a predictable latency" (Section IV-A).
+A LevelDB-style tree instead does all the compaction work a flush demands
+at once, stalling concurrent work in bursts.
+
+We quantify pacing as the distribution of per-second background-I/O
+utilization: a gear-scheduled tree spreads compaction work (low p99 given
+its mean), while LevelDB's utilization is near-zero most seconds and
+saturated in the flush seconds (extreme p99/mean ratio).
+"""
+
+from __future__ import annotations
+
+from repro.sim.report import ascii_table
+
+from .common import once, run_cached, write_report
+
+ENGINES = ("leveldb", "blsm", "lsbm")
+DURATION = 6000
+
+
+def _percentile(values: list[float], percentile: float) -> float:
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, round(percentile / 100 * (len(ordered) - 1)))
+    return ordered[rank]
+
+
+def test_ablation_write_stalls(benchmark):
+    runs = once(
+        benchmark,
+        lambda: {name: run_cached(name, duration=DURATION) for name in ENGINES},
+    )
+    stats = {}
+    rows = []
+    for name in ENGINES:
+        series = runs[name].disk_utilization.values
+        mean = sum(series) / len(series)
+        p99 = _percentile(series, 99)
+        saturated = sum(1 for value in series if value >= 0.99) / len(series)
+        stats[name] = (mean, p99, saturated)
+        rows.append(
+            [name, f"{mean:.3f}", f"{p99:.3f}", f"{saturated:.1%}"]
+        )
+    report = "\n".join(
+        [
+            "Ablation A6 — compaction pacing (gear vs bursty)",
+            "(per-second background-I/O utilization; §IV-A's motivation)",
+            ascii_table(
+                ["engine", "mean util", "p99 util", "saturated seconds"], rows
+            ),
+        ]
+    )
+    write_report("ablation_write_stalls", report)
+
+    # All engines move the same data volume, so mean utilization is in
+    # the same band…
+    means = [stats[name][0] for name in ENGINES]
+    assert max(means) < 5 * max(min(means), 1e-6)
+    # …but LevelDB concentrates it in bursts: it saturates the disk in
+    # more seconds than the gear-scheduled trees.
+    assert stats["leveldb"][2] >= stats["blsm"][2]
+    assert stats["leveldb"][2] >= stats["lsbm"][2]

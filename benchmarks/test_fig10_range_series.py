@@ -1,0 +1,59 @@
+"""Figure 10 — range-query throughput over time.
+
+Panel (a): bLSM, K-V store cache, SM-tree; panel (b): LSbM.  RangeHot
+100 KB scans under 1,000 OPS writes.  The paper's observations:
+
+* the K-V cache run is flat and low (row cache useless for scans, block
+  cache halved);
+* SM-tree degrades as sorted tables pile up, recovering a little when a
+  level merges, and stays the slowest sorted-structure variant;
+* bLSM holds a high line (invalidated data reloads quickly via
+  sequential I/O) with compaction-induced dips;
+* LSbM holds the highest, steadiest line.
+"""
+
+from __future__ import annotations
+
+from repro.sim.report import ascii_table, series_block
+
+from .common import once, run_cached, write_report
+
+ENGINES = ("blsm", "blsm+kvcache", "sm", "lsbm")
+
+
+def test_fig10_range_throughput_series(benchmark):
+    runs = once(
+        benchmark,
+        lambda: {name: run_cached(name, scan_mode=True) for name in ENGINES},
+    )
+    warm = max(1, len(runs["blsm"].throughput_qps) // 10)
+
+    rows = [
+        [
+            name,
+            f"{runs[name].mean_throughput():,.0f}",
+            f"{runs[name].throughput_qps.minimum(warm):,.0f}",
+            f"{runs[name].throughput_qps.maximum(warm):,.0f}",
+        ]
+        for name in ENGINES
+    ]
+    blocks = [
+        series_block(
+            f"(series) {name} range QPS", runs[name].throughput_qps
+        )
+        for name in ENGINES
+    ]
+    report = "\n".join(
+        [
+            "Figure 10 — range-query throughput over time",
+            "(paper: LSbM highest/steadiest; K-V cache flat-low; SM slow)",
+            ascii_table(["engine", "mean qps", "min", "max"], rows),
+            *blocks,
+        ]
+    )
+    write_report("fig10_range_series", report)
+
+    qps = {name: runs[name].mean_throughput() for name in ENGINES}
+    assert qps["lsbm"] == max(qps.values())
+    assert qps["blsm+kvcache"] == min(qps.values())
+    assert qps["sm"] < qps["blsm"]

@@ -1,0 +1,66 @@
+"""Figure 12 — database size over time.
+
+The paper's observations to reproduce:
+
+* bLSM and LevelDB hold a roughly flat size: merges into the (preloaded)
+  last level drop obsolete versions as fast as they arrive;
+* SM-tree grows and bursts: obsolete data piles up in lazy levels, and
+  whole-level merges transiently hold input + output on disk (small
+  bursts at the level-1 period, large ones at the level-2 period);
+* LSbM sits slightly above bLSM/LevelDB — the compaction buffer's rent —
+  but stays bounded thanks to the trim process.
+"""
+
+from __future__ import annotations
+
+from repro.sim.report import ascii_table, series_block
+
+from .common import SIZE_DURATION, once, run_cached, write_report
+
+ENGINES = ("blsm", "leveldb", "sm", "lsbm")
+
+
+def test_fig12_db_size_series(benchmark):
+    runs = once(
+        benchmark,
+        lambda: {name: run_cached(name, scan_mode=True, duration=SIZE_DURATION) for name in ENGINES},
+    )
+    rows = [
+        [
+            name,
+            f"{runs[name].mean_db_size_mb():,.0f}",
+            f"{runs[name].db_size_mb.minimum():,.0f}",
+            f"{runs[name].db_size_mb.maximum():,.0f}",
+        ]
+        for name in ENGINES
+    ]
+    blocks = [
+        series_block(f"(series) {name} DB size (MB)", runs[name].db_size_mb)
+        for name in ENGINES
+    ]
+    report = "\n".join(
+        [
+            "Figure 12 — database size over time",
+            "(paper: SM grows with merge bursts; LSbM slightly above bLSM)",
+            ascii_table(["engine", "mean MB", "min MB", "max MB"], rows),
+            *blocks,
+        ]
+    )
+    write_report("fig12_db_size_series", report)
+
+    sm = runs["sm"].db_size_mb
+    blsm = runs["blsm"].db_size_mb
+    # SM ends bigger than it starts (obsolete pile-up)…
+    assert sm.values[-1] > sm.values[0] * 1.1
+    # …and shows merge bursts: its peak clearly exceeds its mean.
+    assert sm.maximum() > runs["sm"].mean_db_size_mb() * 1.1
+    # LSbM pays a bounded premium over bLSM.
+    assert (
+        runs["blsm"].mean_db_size_mb()
+        <= runs["lsbm"].mean_db_size_mb()
+        <= runs["blsm"].mean_db_size_mb() * 1.35
+    )
+    # bLSM/LevelDB stay roughly flat (no unbounded growth).
+    for name in ("blsm", "leveldb"):
+        series = runs[name].db_size_mb
+        assert series.values[-1] < series.mean() * 1.3

@@ -1,0 +1,64 @@
+"""repro — a full reproduction of the LSbM-tree (ICDCS 2017).
+
+LSbM-tree ("Log-Structured buffered-Merge tree", Teng et al.) re-enables
+DB buffer caching under mixed read/write LSM workloads by keeping a small
+on-disk *compaction buffer*: the input files of compactions are appended
+to per-level buffer lists instead of being deleted, so the cached blocks
+they back survive the merge that rewrote the same data inside the tree.
+
+Public API tour
+---------------
+>>> from repro import SystemConfig, build_engine, preload
+>>> setup = build_engine("lsbm", SystemConfig.paper_scaled(2048))
+>>> preload(setup)
+>>> _ = setup.engine.put(42)
+>>> setup.engine.get(42).found
+True
+
+The package layout mirrors the system inventory in DESIGN.md:
+
+* :mod:`repro.core` — the LSbM-tree itself (buffered merge, compaction
+  buffer, trim process, Algorithms 1-4);
+* :mod:`repro.lsm` — the from-scratch baselines: LevelDB-style leveled
+  tree, bLSM gear scheduler, Stepped-Merge tree;
+* :mod:`repro.variants` — the other compared solutions: K-V store cache,
+  incremental warming up;
+* :mod:`repro.sstable`, :mod:`repro.bloom` — blocks, files, super-files,
+  sorted tables, Bloom filters;
+* :mod:`repro.storage`, :mod:`repro.cache` — the simulated disk and the
+  OS/DB/K-V caches;
+* :mod:`repro.workload`, :mod:`repro.sim` — YCSB-style workloads and the
+  mixed read/write measurement driver;
+* :mod:`repro.analysis` — the paper's closed-form cost models.
+"""
+
+from repro.config import SystemConfig
+from repro.core.lsbm import LSbMTree
+from repro.lsm.blsm import BLSMTree
+from repro.lsm.leveldb import LevelDBTree
+from repro.lsm.sm_tree import SMTree
+from repro.sim.driver import MixedReadWriteDriver
+from repro.sim.experiment import ENGINE_NAMES, build_engine, preload, run_experiment
+from repro.sim.metrics import RunResult
+from repro.variants.kv_store import KVCachedBLSM
+from repro.variants.warmup import WarmupBLSMTree
+from repro.workload.ycsb import RangeHotWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLSMTree",
+    "ENGINE_NAMES",
+    "KVCachedBLSM",
+    "LSbMTree",
+    "LevelDBTree",
+    "MixedReadWriteDriver",
+    "RangeHotWorkload",
+    "RunResult",
+    "SMTree",
+    "SystemConfig",
+    "WarmupBLSMTree",
+    "build_engine",
+    "preload",
+    "run_experiment",
+]

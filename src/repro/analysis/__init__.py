@@ -1,0 +1,33 @@
+"""Analytic cost models from the paper (Sections II-B, IV-C, V, VI-C)."""
+
+from repro.analysis.model import (
+    compaction_io_per_file,
+    expected_extra_tables_per_lookup,
+    incremental_warmup_amplification,
+    merge_cost_per_chunk,
+    total_write_rate,
+    write_amplification,
+)
+
+__all__ = [
+    "compaction_io_per_file",
+    "expected_extra_tables_per_lookup",
+    "incremental_warmup_amplification",
+    "merge_cost_per_chunk",
+    "total_write_rate",
+    "write_amplification",
+]
+
+from repro.analysis.equilibrium import (  # noqa: E402
+    Equilibrium,
+    EquilibriumInputs,
+    invalidation_rate_for,
+    solve,
+)
+
+__all__ += [
+    "Equilibrium",
+    "EquilibriumInputs",
+    "invalidation_rate_for",
+    "solve",
+]

@@ -1,0 +1,69 @@
+"""Closed-form cost models from the paper's analysis sections.
+
+Section II-B derives the compaction I/O of a balanced LSM-tree; Section V
+derives how many extra sorted tables LSbM's compaction buffer adds to a
+point lookup.  These analytic forms are used two ways:
+
+* tests cross-check the simulator's measured write traffic against them
+  (they must agree within the model's assumptions), and
+* the size-ratio ablation bench reports model-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+
+
+def merge_cost_per_chunk(size_ratio: int) -> float:
+    """Average I/O operations to push one chunk of data down one level.
+
+    Section II-B: during one merge round the j-th sorted table of ``Ci``
+    merges with ``j - 1`` chunks already in ``Ci+1``; averaging gives
+    ``(r - 1) / 2`` chunk merges plus the chunk's own write:
+    ``1 + (r - 1) / 2 = (r + 1) / 2``.
+    """
+    return (size_ratio + 1) / 2
+
+
+def total_write_rate(size_ratio: int, num_levels: int, insert_rate: float) -> float:
+    """Total disk write rate of a k-level balanced LSM-tree.
+
+    Section II-B: ``(r + 1) / 2 * k * w0``.
+    """
+    return merge_cost_per_chunk(size_ratio) * num_levels * insert_rate
+
+
+def write_amplification(size_ratio: int, num_levels: int) -> float:
+    """Bytes written to disk per byte inserted (steady state)."""
+    return merge_cost_per_chunk(size_ratio) * num_levels
+
+
+def expected_extra_tables_per_lookup(size_ratio: int) -> float:
+    """Extra sorted tables a point lookup checks in LSbM (Section V).
+
+    A compaction buffer list holds between 0 and ``r`` sorted tables —
+    ``r/2`` on average — and the target key is found on average halfway
+    through them, so the expected number of additional tables checked is
+    about ``r/4``.
+    """
+    return size_ratio / 4
+
+def compaction_io_per_file(config: SystemConfig) -> float:
+    """I/O operations to compact one file-sized chunk down one level.
+
+    Section IV-C: compacting ``S`` data from level ``i`` to ``i+1`` with
+    file size ``s`` needs up to ``(r + 1) * S / s`` input operations and
+    the same number of output operations.
+    """
+    return float(config.size_ratio + 1)
+
+
+def incremental_warmup_amplification(
+    size_ratio: int, num_levels: int, level: int
+) -> float:
+    """Blocks loaded by one warmed read of level ``level`` (Section VI-C).
+
+    "one read operation on level i will load as many as (r+1)^(k-i)
+    blocks into buffer cache" once its block cascades down the tree.
+    """
+    return float((size_ratio + 1) ** (num_levels - level))

@@ -1,0 +1,6 @@
+"""Bloom filters for single-page blocks (Section II-A)."""
+
+from repro.bloom.bloom import BloomFilter
+from repro.bloom.hashing import fnv1a_64, hash_pair, splitmix64
+
+__all__ = ["BloomFilter", "fnv1a_64", "hash_pair", "splitmix64"]

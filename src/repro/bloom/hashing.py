@@ -1,0 +1,37 @@
+"""Deterministic hashing for Bloom filters.
+
+Python's built-in ``hash`` is randomized per process, which would make
+simulation runs non-reproducible, so the filters use a 64-bit FNV-1a hash
+followed by a splitmix64 finalizer.  Two independent 32-bit values are
+extracted and combined with double hashing (Kirsch & Mitzenmacher) to
+derive the k probe positions — the same construction LevelDB uses.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash of ``data``."""
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finalizer; a cheap, well-mixed 64-bit permutation."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def hash_pair(key: int) -> tuple[int, int]:
+    """Two independent 32-bit hash values for an integer key."""
+    mixed = splitmix64(fnv1a_64(key.to_bytes(8, "little", signed=True)))
+    return mixed & 0xFFFFFFFF, (mixed >> 32) & 0xFFFFFFFF

@@ -1,0 +1,78 @@
+"""A key-value store cache (Cassandra-style row cache).
+
+Section I-A's first existing solution: "build a key-value store in DRAM on
+top of the LSM-tree ... an independent buffer in memory without any address
+indexing to the data source on disks."  Reads check it first by *key*; on a
+miss the LSM-tree is consulted and the result is installed.  Because
+entries are rows, not blocks, it cannot serve range queries and it competes
+with the DB buffer cache for the same DRAM budget — the two weaknesses the
+paper's Fig. 11 quantifies (68 QPS for range scans).
+"""
+
+from __future__ import annotations
+
+from repro.cache.policy import LRUPolicy, ReplacementPolicy
+from repro.cache.stats import CacheStats
+
+
+class KVStoreCache:
+    """Bounded key→value LRU cache."""
+
+    def __init__(
+        self,
+        capacity_pairs: int,
+        policy: ReplacementPolicy | None = None,
+    ) -> None:
+        if capacity_pairs < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity_pairs}")
+        self._capacity = capacity_pairs
+        self._policy = policy if policy is not None else LRUPolicy()
+        self._values: dict[int, object] = {}
+        self.stats = CacheStats()
+
+    @property
+    def capacity_pairs(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def usage(self) -> float:
+        return len(self._values) / self._capacity
+
+    def get(self, key: int) -> tuple[bool, object | None]:
+        """Look up ``key``; returns ``(hit, value)``."""
+        if key in self._values:
+            self._policy.touch(key)
+            self.stats.hits += 1
+            return True, self._values[key]
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, key: int, value: object) -> None:
+        """Install or refresh ``key``.
+
+        Used both to fill on read miss and to keep a written row coherent
+        (a write-through update, as Cassandra's row cache does).
+        """
+        if key in self._values:
+            self._values[key] = value
+            self._policy.touch(key)
+            return
+        while len(self._values) >= self._capacity:
+            victim = self._policy.evict()
+            del self._values[victim]  # type: ignore[arg-type]
+            self.stats.evictions += 1
+        self._policy.insert(key)
+        self._values[key] = value
+        self.stats.insertions += 1
+
+    def invalidate(self, key: int) -> bool:
+        """Drop ``key`` if resident (alternative write policy)."""
+        if key not in self._values:
+            return False
+        self._policy.remove(key)
+        del self._values[key]
+        self.stats.invalidations += 1
+        return True

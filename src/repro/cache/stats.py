@@ -1,0 +1,49 @@
+"""Hit/miss accounting shared by every cache implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache counters.
+
+    The simulation driver samples these once per virtual second and
+    differences consecutive snapshots to build the hit-ratio time series
+    of Figs. 2 and 8.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Lifetime hit ratio; 0.0 when the cache has never been accessed."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy for interval differencing."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            insertions=self.insertions,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+        )
+
+    def interval_hit_ratio(self, earlier: "CacheStats") -> float:
+        """Hit ratio of the accesses that happened since ``earlier``."""
+        accesses = self.accesses - earlier.accesses
+        if accesses <= 0:
+            return 0.0
+        return (self.hits - earlier.hits) / accesses

@@ -1,0 +1,152 @@
+"""Command-line interface: run experiments and comparisons from a shell.
+
+Usage (installed or via ``python -m repro.cli``):
+
+    # one engine, paper workload, summary + sparklines
+    python -m repro.cli run --engine lsbm --scale 2048 --duration 8000
+
+    # several engines side by side (the Fig. 9 / Fig. 11 view)
+    python -m repro.cli compare --engines blsm,leveldb,lsbm --duration 8000
+
+    # range-query mode, CSV time series out
+    python -m repro.cli run --engine lsbm --scan --csv out.csv
+
+    # list available engines
+    python -m repro.cli engines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.sim.experiment import ENGINE_NAMES, run_experiment
+from repro.sim.metrics import RunResult
+from repro.sim.report import ascii_table, format_qps, series_block
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=2048,
+        help="linear size scale vs the paper's setup (default 2048)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=int,
+        default=8000,
+        help="virtual seconds to run (paper: 20000)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--scan",
+        action="store_true",
+        help="drive range queries instead of point reads",
+    )
+
+
+def _summary_row(name: str, result: RunResult) -> list[str]:
+    return [
+        name,
+        f"{result.mean_hit_ratio():.3f}",
+        format_qps(result.mean_throughput()),
+        f"{result.mean_db_size_mb():,.0f}",
+        f"{result.latency_percentile_s(50) * 1000:.2f}",
+        f"{result.latency_percentile_s(99) * 1000:.2f}",
+    ]
+
+
+_HEADERS = ["engine", "hit", "QPS", "DB MB", "p50 ms", "p99 ms"]
+
+
+def cmd_engines(_args: argparse.Namespace) -> int:
+    for name in ENGINE_NAMES:
+        print(name)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = SystemConfig.paper_scaled(args.scale)
+    print(
+        f"running {args.engine} at 1/{args.scale} scale for "
+        f"{args.duration} virtual seconds "
+        f"({'range queries' if args.scan else 'point reads'})",
+        file=sys.stderr,
+    )
+    result = run_experiment(
+        args.engine,
+        config,
+        duration_s=args.duration,
+        seed=args.seed,
+        scan_mode=args.scan,
+    )
+    print(ascii_table(_HEADERS, [_summary_row(args.engine, result)]))
+    print()
+    print(series_block("hit ratio", result.hit_ratio))
+    print(series_block("throughput (QPS)", result.throughput_qps))
+    print(series_block("DB size (MB)", result.db_size_mb))
+    if args.csv:
+        Path(args.csv).write_text("\n".join(result.to_csv_rows()) + "\n")
+        print(f"\ntime series written to {args.csv}", file=sys.stderr)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    names = [name.strip() for name in args.engines.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ENGINE_NAMES]
+    if unknown:
+        print(f"unknown engines: {unknown}; see `engines`", file=sys.stderr)
+        return 2
+    config = SystemConfig.paper_scaled(args.scale)
+    rows = []
+    for name in names:
+        print(f"running {name} ...", file=sys.stderr)
+        result = run_experiment(
+            name,
+            config,
+            duration_s=args.duration,
+            seed=args.seed,
+            scan_mode=args.scan,
+        )
+        rows.append(_summary_row(name, result))
+    print(ascii_table(_HEADERS, rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LSbM-tree reproduction: run simulated experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    engines = commands.add_parser("engines", help="list engine variants")
+    engines.set_defaults(func=cmd_engines)
+
+    run = commands.add_parser("run", help="run one engine, print its series")
+    run.add_argument("--engine", required=True, choices=ENGINE_NAMES)
+    run.add_argument("--csv", help="write the per-second series to this file")
+    _add_common(run)
+    run.set_defaults(func=cmd_run)
+
+    compare = commands.add_parser("compare", help="run several engines")
+    compare.add_argument(
+        "--engines",
+        default="blsm,leveldb,lsbm",
+        help="comma-separated engine names",
+    )
+    _add_common(compare)
+    compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""A monotonic virtual clock shared by the whole simulation.
+
+The paper's experiments run for 20,000 wall-clock seconds; we replace wall
+time with this clock.  One clock tick is one virtual second.  The driver
+advances the clock; every other subsystem (disk bandwidth ledger, trim
+scheduler, metric sampler) only reads it, which keeps time flow in exactly
+one place and makes runs deterministic.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Integer-second simulated time.
+
+    The clock only moves forward.  ``now`` is the current virtual second,
+    starting at 0.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """The current virtual second."""
+        return self._now
+
+    def advance(self, seconds: int = 1) -> int:
+        """Move time forward by ``seconds`` (>= 0) and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards ({seconds=})")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now})"

@@ -1,0 +1,136 @@
+"""Compaction-buffer data structures (Sections III and IV).
+
+The compaction buffer is LSbM's second on-disk structure: per level it
+keeps lists of sorted tables built purely by *re-referencing* files that
+the underlying LSM-tree's compactions would otherwise delete.  Because the
+files never move, the DB buffer cache blocks indexed through them survive
+the compaction that rewrote the same logical data inside the tree.
+
+Per level ``i`` (1 ≤ i ≤ k) a :class:`BufferLevel` holds three pieces,
+mirroring the paper's notation:
+
+* ``incoming`` — the table currently being appended, ``Bi^0``: it receives
+  the files drained from ``C'(i-1)`` during the present merge round and is
+  the key-range complement of ``C'(i-1)``.
+* ``tables`` — the completed lists ``Bi^j`` (newest first), serving reads
+  against ``Ci``.
+* ``draining`` — ``B'i``: the former ``tables``, moved here when ``Ci``
+  rotated into ``C'i``; its files are *gradually* removed in lockstep with
+  ``C'i``'s drain (Algorithm 1 lines 18-20) so the buffer cache never
+  loses the whole hot set at once.
+
+``frozen`` implements the repeated-data rule of Section IV-A: once a merge
+into level ``i`` is observed dropping obsolete entries, appends stop (and
+the accumulated lists are discarded) until ``Ci`` itself is merged down.
+
+The structures here are pure bookkeeping; the engine performs the actual
+removal side effects (freeing extents, invalidating cached blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sstable.sorted_table import SortedTable
+from repro.sstable.sstable import SSTableFile
+
+
+@dataclass
+class BufferLevel:
+    """The compaction-buffer state of one on-disk level."""
+
+    level: int
+    incoming: SortedTable = field(default_factory=SortedTable)
+    tables: list[SortedTable] = field(default_factory=list)
+    draining: list[SortedTable] = field(default_factory=list)
+    draining_initial_kb: float = 0.0
+    frozen: bool = False
+
+    # ------------------------------------------------------------------
+    # Sizes.
+    # ------------------------------------------------------------------
+    @property
+    def live_kb(self) -> int:
+        """Live buffer data serving ``Ci`` (incoming + completed tables)."""
+        return self.incoming.size_kb + sum(t.size_kb for t in self.tables)
+
+    @property
+    def draining_live_kb(self) -> int:
+        """Live data in ``B'i`` (removed markers excluded)."""
+        return sum(t.size_kb for t in self.draining)
+
+    @property
+    def total_live_kb(self) -> int:
+        return self.live_kb + self.draining_live_kb
+
+    # ------------------------------------------------------------------
+    # Round transitions.
+    # ------------------------------------------------------------------
+    def finalize_incoming(self) -> None:
+        """Close ``Bi^0``: it becomes the newest completed table."""
+        if self.incoming:
+            self.tables.insert(0, self.incoming)
+        self.incoming = SortedTable()
+
+    def start_drain(self) -> list[SortedTable]:
+        """Move ``Bi`` into ``B'i`` at a level rotation.
+
+        Returns any leftover previous ``B'i`` tables; the engine removes
+        their remaining files outright (the previous round is over, so
+        their reads have fully transferred to the next level).
+        """
+        leftovers = self.draining
+        self.draining = self.tables
+        self.tables = []
+        self.draining_initial_kb = float(self.draining_live_kb)
+        return leftovers
+
+    def take_all_serving(self) -> list[SortedTable]:
+        """Detach ``incoming`` + ``tables`` (freeze path); returns them."""
+        detached = list(self.tables)
+        if self.incoming:
+            detached.insert(0, self.incoming)
+        self.tables = []
+        self.incoming = SortedTable()
+        return detached
+
+    # ------------------------------------------------------------------
+    # Pace removal support.
+    # ------------------------------------------------------------------
+    def smallest_draining_file(self) -> SSTableFile | None:
+        """The live ``B'i`` file with the smallest maximum key.
+
+        Algorithm 1 removes files in key order so that ``B'i`` sheds the
+        same key-space portion that ``C'i`` has already merged down.
+        """
+        best: SSTableFile | None = None
+        for table in self.draining:
+            for file in table:
+                if file.removed:
+                    continue
+                if best is None or file.max_key < best.max_key:
+                    best = file
+                break  # Files are key-ordered; first live one is minimal.
+        return best
+
+    # ------------------------------------------------------------------
+    # Trim support.
+    # ------------------------------------------------------------------
+    def trimmable_tables(self) -> list[SortedTable]:
+        """Tables eligible for the trim process.
+
+        Algorithm 2 skips ``Bi^0`` — the most recent data, still actively
+        warming the buffer cache.  Here that means the ``incoming`` table
+        and the newest completed table are exempt; older completed tables
+        and every draining table are trimmed.
+        """
+        return self.tables[1:] + self.draining
+
+    def live_files(self) -> list[SSTableFile]:
+        """Every non-removed file currently referenced by this level."""
+        files = [f for f in self.incoming if not f.removed]
+        for table in self.tables:
+            files.extend(f for f in table if not f.removed)
+        for table in self.draining:
+            files.extend(f for f in table if not f.removed)
+        return files

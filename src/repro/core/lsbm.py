@@ -1,0 +1,429 @@
+"""The LSbM-tree: Log-Structured buffered-Merge tree (the paper's core).
+
+LSbM keeps two on-disk structures (Section III):
+
+* the **underlying LSM-tree** — a gear-scheduled bLSM holding the entire
+  data set, fully sorted per level, serving range queries and cold reads;
+* the **compaction buffer** — per-level lists of sorted tables built by
+  *appending the input files of compactions instead of deleting them*
+  (Algorithm 1's buffered merge).  Since those files already exist on
+  disk, the buffer costs no additional I/O, and since they never move,
+  the DB buffer cache blocks indexed through them survive compactions.
+
+Queries consult the compaction buffer first for data likely resident in
+the buffer cache (Algorithm 3 for point reads, Algorithm 4 for ranges) and
+fall back to the underlying tree otherwise; a periodic trim process
+(Algorithm 2) evicts buffer files that are not actually hot.
+
+Engineering notes on the two under-specified corners of the paper, both
+validated by the model-equivalence property tests:
+
+* **Freeze detector.**  "If the size of Ci+1 is smaller than the data
+  compacted into it, there must exist repeated data."  Uniform writes over
+  a finite key space *always* collide occasionally, so the detector here
+  fires on the cumulative obsolete *fraction* of a level's current merge
+  round exceeding ``config.freeze_duplicate_fraction``.  Freezing discards
+  the level's serving lists (their obsolete versions could otherwise
+  shadow newer data once appends stop) and suspends appends until the
+  level rotates.
+* **Coverage flags.**  A range query may be answered entirely from a
+  buffer list only if that list records *every* round merged into its run
+  (otherwise recently merged keys would be missed).  A freeze breaks that
+  completeness until the level next rotates; ``BufferLevel`` coverage
+  flags track it, and scans fall back to the underlying run while
+  coverage is broken.  Point reads never need the flag: Algorithm 3 falls
+  back to ``Ci`` per key whenever the buffer misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compaction_buffer import BufferLevel
+from repro.core.trim import TrimProcess
+from repro.lsm.base import GetResult, MergeOutcome, ReadCost, ScanResult
+from repro.lsm.blsm import BLSMTree
+from repro.sstable.entry import Entry
+from repro.sstable.iterator import merge_entries
+from repro.sstable.sorted_table import SortedTable
+from repro.sstable.sstable import SSTableFile
+from repro.sstable.superfile import group_into_superfiles
+
+
+@dataclass
+class _RoundAccounting:
+    """Per-level bytes merged in / dropped since the level's last rotation."""
+
+    in_kb: float = 0.0
+    obsolete_kb: float = 0.0
+
+    def duplicate_fraction(self) -> float:
+        if self.in_kb <= 0:
+            return 0.0
+        return self.obsolete_kb / self.in_kb
+
+
+@dataclass
+class LSbMStats:
+    """LSbM-specific counters, on top of the base engine stats."""
+
+    buffer_files_appended: int = 0
+    buffer_files_removed: int = 0
+    freeze_events: int = 0
+    trim_runs: int = 0
+    reads_served_by_buffer: int = 0
+    reads_served_by_tree: int = 0
+
+
+class LSbMTree(BLSMTree):
+    """bLSM underlying tree + compaction buffer = LSbM (Sections III-V)."""
+
+    name = "lsbm"
+
+    def __init__(self, config, clock, disk, db_cache=None, os_cache=None) -> None:
+        super().__init__(config, clock, disk, db_cache, os_cache)
+        #: buffer[1..k]; index 0 unused (level 0 lives in DRAM + C0').
+        self.buffer: list[BufferLevel] = [
+            BufferLevel(level) for level in range(self.num_levels + 1)
+        ]
+        #: Whether a level's serving lists record every round merged into
+        #: its C run since the last rotation (see module docstring).
+        self._covers: list[bool] = [True] * (self.num_levels + 1)
+        #: Same property for the draining lists vs the C' run.
+        self._draining_covers: list[bool] = [True] * (self.num_levels + 1)
+        self._rounds: list[_RoundAccounting] = [
+            _RoundAccounting() for _ in range(self.num_levels + 1)
+        ]
+        self.lsbm_stats = LSbMStats()
+        self.trim = TrimProcess(
+            config,
+            cached_blocks=self._cached_blocks_of,
+            remove_file=self._remove_buffer_file,
+        )
+
+    # ------------------------------------------------------------------
+    # Substrate helpers.
+    # ------------------------------------------------------------------
+    def _cached_blocks_of(self, file_id: int) -> int:
+        if self.db_cache is None:
+            return 0
+        return self.db_cache.cached_blocks(file_id)
+
+    def _remove_buffer_file(self, file: SSTableFile) -> None:
+        """Remove a file from the compaction buffer (Section IV-A).
+
+        The file's data leaves the disk and the cache; only its key-range
+        marker survives inside its sorted table so queries know to fall
+        back to the underlying tree.
+        """
+        if self.db_cache is not None:
+            self.db_cache.invalidate_file(file.file_id)
+        self.disk.free(file.extent)
+        file.mark_removed()
+        self.lsbm_stats.buffer_files_removed += 1
+
+    def _remove_table_files(self, table: SortedTable) -> None:
+        for file in table:
+            if not file.removed:
+                self._remove_buffer_file(file)
+
+    @property
+    def compaction_buffer_kb(self) -> int:
+        """Live on-disk size of the whole compaction buffer."""
+        return sum(
+            self.buffer[level].total_live_kb
+            for level in range(1, self.num_levels + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Buffered merge (Algorithm 1): hook overrides of the gear scheduler.
+    # ------------------------------------------------------------------
+    def _rotate(self, level: int) -> None:
+        if level >= 1:
+            buf = self.buffer[level]
+            # Close the in-flight Bi^0 so it travels with Bi into B'i.
+            buf.finalize_incoming()
+            for table in buf.start_drain():
+                # Any leftover previous-round B' files: their reads have
+                # fully transferred to the next level.
+                self._remove_table_files(table)
+            self._draining_covers[level] = self._covers[level]
+            # "When Ci becomes full and is merged down to next level,
+            # Bi is unfrozen" — and its coverage restarts with the empty
+            # new Ci.
+            buf.frozen = False
+            self._covers[level] = True
+            self._rounds[level] = _RoundAccounting()
+        super()._rotate(level)
+        target = level + 1
+        if target <= self.num_levels:
+            # Line 11: create an empty sorted table in B(i+1) as B(i+1)^0.
+            self.buffer[target].finalize_incoming()
+
+    def _compact_unit(self, level: int, unit: list[SSTableFile]) -> MergeOutcome:
+        target = level + 1
+        buf = self.buffer[target]
+        outcome = self._merge_into_run(
+            unit,
+            self.c[target],
+            last_level=target == self.num_levels,
+            dispose_sources=False,  # The buffered merge re-uses the inputs.
+        )
+        group_into_superfiles(
+            outcome.new_files, self.config.superfile_files, self.superfile_ids
+        )
+
+        round_acct = self._rounds[target]
+        round_acct.in_kb += sum(f.size_kb for f in unit)
+        round_acct.obsolete_kb += (
+            outcome.obsolete_entries * self.config.pair_size_kb
+        )
+        if (
+            not buf.frozen
+            and round_acct.duplicate_fraction()
+            > self.config.freeze_duplicate_fraction
+        ):
+            self._freeze_level(target)
+
+        if buf.frozen:
+            for file in unit:
+                self._discard_file(file)
+        else:
+            for file in unit:
+                buf.incoming.append(file)
+                self.lsbm_stats.buffer_files_appended += 1
+
+        if level >= 1:
+            self._pace_remove(level)
+        return outcome
+
+    def _freeze_level(self, level: int) -> None:
+        """Stop buffering a level that is absorbing repeated data."""
+        buf = self.buffer[level]
+        buf.frozen = True
+        self._covers[level] = False
+        self.lsbm_stats.freeze_events += 1
+        for table in buf.take_all_serving():
+            self._remove_table_files(table)
+
+    def _pace_remove(self, level: int) -> None:
+        """Drain B' in lockstep with C' (Algorithm 1, lines 18-20).
+
+        Keeps ``|B'i| / S̄i <= |C'i| / Si`` by removing the file with the
+        smallest maximum key — the key range C' has already merged down —
+        so the buffer cache transfers its hot set to the next level
+        gradually instead of losing it at once.
+        """
+        buf = self.buffer[level]
+        initial = buf.draining_initial_kb
+        if initial <= 0:
+            return
+        capacity = self.config.level_capacity_kb(level)
+        target_ratio = self.cp[level].size_kb / capacity
+        while True:
+            live = buf.draining_live_kb
+            if live <= 0 or live / initial <= target_ratio:
+                return
+            file = buf.smallest_draining_file()
+            if file is None:
+                return
+            self._remove_buffer_file(file)
+
+    # ------------------------------------------------------------------
+    # Housekeeping: the trim process runs on the virtual-second tick.
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        super().tick(now)
+        removed = self.trim.maybe_run(
+            now, [self.buffer[i] for i in range(1, self.num_levels + 1)]
+        )
+        if removed or self.trim.due(now):
+            self.lsbm_stats.trim_runs = self.trim.runs
+
+    # ------------------------------------------------------------------
+    # Random access (Algorithm 3, plus the C'/B0 combination rule).
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> GetResult:
+        self._check_open()
+        self.stats.gets += 1
+        cost = ReadCost()
+        cost.memtable_probes += 1
+        entry = self.memtable.get(key)
+        if entry is not None:
+            return self._make_entry_result(entry, cost)
+        # Level 0's draining run, combined with B1^0 (its drained part).
+        entry = self._search_component(
+            self.c0_prime, key, cost,
+            buffer_tables=[],
+            complement=self.buffer[1].incoming,
+        )
+        if entry is not None:
+            return self._make_entry_result(entry, cost)
+        for level in range(1, self.num_levels + 1):
+            buf = self.buffer[level]
+            entry = self._search_component(
+                self.c[level], key, cost, buffer_tables=buf.tables
+            )
+            if entry is not None:
+                return self._make_entry_result(entry, cost)
+            if level < self.num_levels:
+                entry = self._search_component(
+                    self.cp[level], key, cost,
+                    buffer_tables=buf.draining,
+                    complement=self.buffer[level + 1].incoming,
+                )
+                if entry is not None:
+                    return self._make_entry_result(entry, cost)
+        return GetResult(False, None, cost)
+
+    def _search_component(
+        self,
+        run: SortedTable,
+        key: int,
+        cost: ReadCost,
+        buffer_tables: list[SortedTable],
+        complement: SortedTable | None = None,
+    ) -> Entry | None:
+        """One level component: run's index/Bloom gate, buffer first.
+
+        ``complement`` is the B0 table of the next level holding the files
+        already drained out of ``run`` — together they cover the original
+        sorted run (Section V's "treated as a whole").
+        """
+        cost.tables_checked += 1
+        file = run.find_file(key)
+        if file is None and complement is not None:
+            file = complement.find_file(key)
+        if file is None:
+            return None
+        block = file.find_block(key)
+        if block is None:
+            return None
+        cost.bloom_probes += 1
+        if not block.may_contain(key):
+            # The buffer lists hold subsets of this component, so a
+            # negative here clears them too (Algorithm 3's level skip).
+            return None
+        entry = self._search_buffer_lists(buffer_tables, key, cost)
+        if entry is not None:
+            self.lsbm_stats.reads_served_by_buffer += 1
+            return entry
+        self._read_block(file, block, cost)
+        entry = block.get(key)
+        if entry is None:
+            cost.false_positive_blocks += 1
+        else:
+            self.lsbm_stats.reads_served_by_tree += 1
+        return entry
+
+    def _search_buffer_lists(
+        self, tables: list[SortedTable], key: int, cost: ReadCost
+    ) -> Entry | None:
+        """Check a compaction-buffer list newest-table-first.
+
+        A removed-file marker covering the key stops the whole check
+        (Algorithm 3 lines 15-16): the newest version might have been in
+        the removed file, so only the underlying tree can answer safely.
+        """
+        for table in tables:
+            cost.index_probes += 1
+            file = table.find_file(key)
+            if file is None:
+                continue
+            if file.removed:
+                return None
+            block = file.find_block(key)
+            if block is None:
+                continue
+            cost.bloom_probes += 1
+            if not block.may_contain(key):
+                continue
+            self._read_block(file, block, cost)
+            entry = block.get(key)
+            if entry is not None:
+                return entry
+            cost.false_positive_blocks += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Range queries (Algorithm 4, plus the combination rule).
+    # ------------------------------------------------------------------
+    def scan(self, low: int, high: int) -> ScanResult:
+        self._check_open()
+        self.stats.scans += 1
+        cost = ReadCost()
+        sources: list[list[Entry]] = [self.memtable.entries_in_range(low, high)]
+        self._scan_component(
+            sources, self.c0_prime, low, high, cost,
+            buffer_tables=[], buffer_complete=False,
+            complement=self.buffer[1].incoming,
+        )
+        for level in range(1, self.num_levels + 1):
+            buf = self.buffer[level]
+            self._scan_component(
+                sources, self.c[level], low, high, cost,
+                buffer_tables=buf.tables,
+                buffer_complete=self._covers[level],
+            )
+            if level < self.num_levels:
+                self._scan_component(
+                    sources, self.cp[level], low, high, cost,
+                    buffer_tables=buf.draining,
+                    buffer_complete=self._draining_covers[level],
+                    complement=self.buffer[level + 1].incoming,
+                )
+        entries = [e for e in merge_entries(sources) if not e.is_tombstone]  # type: ignore[arg-type]
+        return ScanResult(entries, cost)
+
+    def _scan_component(
+        self,
+        sources: list[list[Entry]],
+        run: SortedTable,
+        low: int,
+        high: int,
+        cost: ReadCost,
+        buffer_tables: list[SortedTable],
+        buffer_complete: bool,
+        complement: SortedTable | None = None,
+    ) -> None:
+        """Collect one component's range data into ``sources``.
+
+        Serves from the buffer list only when it is a complete record of
+        the run (no freeze since rotation) and no removed-file marker
+        overlaps the range; otherwise reads the underlying run (plus its
+        drained complement).
+        """
+        run_files = run.files_overlapping(low, high)
+        complement_files = (
+            complement.files_overlapping(low, high)
+            if complement is not None
+            else []
+        )
+        if not run_files and not complement_files:
+            return
+        cost.tables_checked += 1
+        buffer_groups: list[list[SSTableFile]] | None = None
+        if buffer_complete and buffer_tables:
+            collected: list[list[SSTableFile]] = []
+            usable = True
+            for table in buffer_tables:
+                overlapping = table.files_overlapping(low, high)
+                if any(f.removed for f in overlapping):
+                    usable = False  # Algorithm 4 lines 11-13: clear F.
+                    break
+                if overlapping:
+                    collected.append(overlapping)
+            if usable and collected:
+                buffer_groups = collected
+        if buffer_groups is not None:
+            # Served by the buffer lists: one disk run per Bij touched.
+            for group in buffer_groups:
+                sources.extend(self._scan_table_files(group, low, high, cost))
+        else:
+            # Served by the underlying run (plus its drained complement):
+            # each is one contiguous sorted table.
+            for group in (run_files, complement_files):
+                if group:
+                    sources.extend(
+                        self._scan_table_files(group, low, high, cost)
+                    )

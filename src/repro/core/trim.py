@@ -1,0 +1,69 @@
+"""The trim process (Section IV-B, Algorithm 2).
+
+The compaction buffer must keep *only* frequently visited data: files whose
+blocks are not resident in the buffer cache merely add sorted tables for
+queries to wade through and disk space to pay for.  Periodically (every
+``trim_interval_s`` virtual seconds) an independent pass inspects every
+trimmable file and removes those whose cached-block fraction falls below
+the threshold (80% in the paper's setup).
+
+Removal keeps the file's ``[min_key, max_key]`` marker inside its sorted
+table: Algorithms 3 and 4 stop searching a buffer list the moment a marker
+covers the requested key/range, falling back to the underlying LSM-tree —
+that is what makes trimming safe for correctness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.config import SystemConfig
+from repro.core.compaction_buffer import BufferLevel
+from repro.sstable.sstable import SSTableFile
+
+
+class TrimProcess:
+    """Periodic eviction of infrequently visited compaction-buffer files."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        cached_blocks: Callable[[int], int],
+        remove_file: Callable[[SSTableFile], None],
+    ) -> None:
+        """``cached_blocks`` maps a file id to its resident block count
+        (the DB buffer cache's per-file counter); ``remove_file`` performs
+        the engine-side removal (marker + extent free + invalidation)."""
+        self._interval = config.trim_interval_s
+        self._threshold = config.trim_threshold
+        self._cached_blocks = cached_blocks
+        self._remove_file = remove_file
+        self._last_run: int | None = None
+        self.files_trimmed = 0
+        self.runs = 0
+
+    def due(self, now: int) -> bool:
+        return self._last_run is None or now - self._last_run >= self._interval
+
+    def maybe_run(self, now: int, buffer_levels: list[BufferLevel]) -> int:
+        """Run the trim pass if the interval has elapsed; returns removals."""
+        if not self.due(now):
+            return 0
+        self._last_run = now
+        return self.run(buffer_levels)
+
+    def run(self, buffer_levels: list[BufferLevel]) -> int:
+        """One full trim pass over every level (Algorithm 2)."""
+        self.runs += 1
+        removed = 0
+        for level in buffer_levels:
+            for table in level.trimmable_tables():
+                for file in list(table):
+                    if file.removed:
+                        continue
+                    cached = self._cached_blocks(file.file_id)
+                    if cached / file.num_blocks < self._threshold:
+                        self._remove_file(file)
+                        removed += 1
+        self.files_trimmed += removed
+        return removed

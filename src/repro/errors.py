@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A :class:`~repro.config.SystemConfig` is internally inconsistent.
+
+    Raised by :meth:`repro.config.SystemConfig.validate` when, for example,
+    the block size does not divide the file size, or the cache is larger
+    than the dataset it is supposed to cache a fraction of.
+    """
+
+
+class StorageError(ReproError):
+    """The simulated disk was used incorrectly.
+
+    Typical causes: reading a block from an extent that has been freed,
+    freeing an extent twice, or allocating a non-positive extent.
+    """
+
+
+class TableError(ReproError):
+    """An SSTable-level invariant was violated.
+
+    Typical causes: adding out-of-order entries to a
+    :class:`~repro.sstable.builder.TableBuilder`, or installing overlapping
+    files into a sorted table that must stay fully sorted.
+    """
+
+
+class EngineError(ReproError):
+    """An LSM engine was driven into an invalid state.
+
+    Typical causes: operating on a closed engine, or a compaction-scheduler
+    invariant (such as gear pacing) failing internally.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with impossible parameters."""

@@ -1,0 +1,31 @@
+"""LSM engines: shared base plus the paper's three baselines."""
+
+from repro.lsm.base import (
+    EngineStats,
+    GetResult,
+    LSMEngine,
+    MergeOutcome,
+    ReadCost,
+    ScanResult,
+)
+from repro.lsm.blsm import BLSMTree
+from repro.lsm.leveldb import LevelDBTree
+from repro.lsm.memtable import Memtable
+from repro.lsm.sm_tree import SMTree
+
+__all__ = [
+    "BLSMTree",
+    "EngineStats",
+    "GetResult",
+    "LSMEngine",
+    "LevelDBTree",
+    "Memtable",
+    "MergeOutcome",
+    "ReadCost",
+    "SMTree",
+    "ScanResult",
+]
+
+from repro.lsm.wal import WriteAheadLog  # noqa: E402
+
+__all__ += ["WriteAheadLog"]

@@ -1,0 +1,470 @@
+"""Shared machinery for every LSM engine in the reproduction.
+
+All engines — LevelDB, bLSM, SM-tree and LSbM — share the same substrate
+wiring (simulated disk, DB and/or OS buffer cache, table builder, sequence
+numbers) and the same *costed* read primitives: every query returns not
+just its answer but a :class:`ReadCost` describing the operation's shape
+(cache hits, random disk blocks, sequential runs, Bloom probes).  The
+simulation driver converts that shape into modeled service time; the
+engines themselves stay purely logical.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.cache.db_cache import DBBufferCache
+from repro.cache.os_cache import OSBufferCache
+from repro.config import SystemConfig
+from repro.errors import EngineError
+from repro.lsm.memtable import Memtable
+from repro.lsm.wal import WriteAheadLog
+from repro.sstable.entry import Kind
+from repro.clock import VirtualClock
+from repro.sstable.block import Block
+from repro.sstable.builder import TableBuilder
+from repro.sstable.entry import Entry
+from repro.sstable.iterator import merge_with_obsolete_count
+from repro.sstable.sorted_table import SortedTable
+from repro.sstable.sstable import FileIdSource, SSTableFile
+from repro.sstable.superfile import SuperFileIdSource
+
+
+@dataclass
+class ReadCost:
+    """The I/O shape of one query (the driver prices it)."""
+
+    memtable_probes: int = 0
+    index_probes: int = 0
+    bloom_probes: int = 0
+    cache_hit_blocks: int = 0
+    os_hit_blocks: int = 0
+    disk_random_blocks: int = 0
+    seq_runs: int = 0
+    seq_kb: float = 0.0
+    false_positive_blocks: int = 0
+    tables_checked: int = 0
+
+    def merge(self, other: "ReadCost") -> None:
+        self.memtable_probes += other.memtable_probes
+        self.index_probes += other.index_probes
+        self.bloom_probes += other.bloom_probes
+        self.cache_hit_blocks += other.cache_hit_blocks
+        self.os_hit_blocks += other.os_hit_blocks
+        self.disk_random_blocks += other.disk_random_blocks
+        self.seq_runs += other.seq_runs
+        self.seq_kb += other.seq_kb
+        self.false_positive_blocks += other.false_positive_blocks
+        self.tables_checked += other.tables_checked
+
+    @property
+    def block_reads(self) -> int:
+        return self.cache_hit_blocks + self.os_hit_blocks + self.disk_random_blocks
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Block-level hit ratio of this single operation."""
+        total = self.block_reads
+        if not total:
+            return 1.0  # Served entirely from memory structures.
+        return self.cache_hit_blocks / total
+
+
+@dataclass
+class GetResult:
+    """Outcome of a point lookup."""
+
+    found: bool
+    value: str | None
+    cost: ReadCost
+
+
+@dataclass
+class ScanResult:
+    """Outcome of a range query."""
+
+    entries: list[Entry]
+    cost: ReadCost
+
+
+@dataclass
+class EngineStats:
+    """Cumulative engine-side counters."""
+
+    puts: int = 0
+    deletes: int = 0
+    gets: int = 0
+    scans: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    compaction_read_kb: float = 0.0
+    compaction_write_kb: float = 0.0
+    obsolete_entries_dropped: int = 0
+
+
+@dataclass
+class MergeOutcome:
+    """What one compaction step produced."""
+
+    new_files: list[SSTableFile] = field(default_factory=list)
+    obsolete_entries: int = 0
+    read_kb: float = 0.0
+    write_kb: float = 0.0
+
+
+class LSMEngine(ABC):
+    """Abstract base of all engines: substrate wiring + costed reads."""
+
+    #: Human-readable engine name, overridden by subclasses.
+    name = "lsm"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        clock: VirtualClock,
+        disk,
+        db_cache: DBBufferCache | None = None,
+        os_cache: OSBufferCache | None = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.disk = disk
+        self.db_cache = db_cache
+        self.os_cache = os_cache
+        self.file_ids = FileIdSource()
+        self.superfile_ids = SuperFileIdSource()
+        self.builder = TableBuilder(config, disk, self.file_ids, self.superfile_ids)
+        self.memtable = Memtable(config.pair_size_kb)
+        self.wal: WriteAheadLog | None = (
+            WriteAheadLog(disk, config.pair_size_kb)
+            if config.wal_enabled
+            else None
+        )
+        self.stats = EngineStats()
+        self._seq = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Write path (shared).
+    # ------------------------------------------------------------------
+    def put(self, key: int) -> int:
+        """Insert/overwrite ``key``; returns the assigned sequence number."""
+        self._check_open()
+        self._seq += 1
+        if self.wal is not None:
+            self.wal.append(key, self._seq, Kind.PUT)
+        self.memtable.put(key, self._seq)
+        self.stats.puts += 1
+        self._maybe_schedule_compactions()
+        return self._seq
+
+    def delete(self, key: int) -> int:
+        """Delete ``key`` (writes a tombstone)."""
+        self._check_open()
+        self._seq += 1
+        if self.wal is not None:
+            self.wal.append(key, self._seq, Kind.DELETE)
+        self.memtable.delete(key, self._seq)
+        self.stats.deletes += 1
+        self._maybe_schedule_compactions()
+        return self._seq
+
+    def _maybe_schedule_compactions(self) -> None:
+        """Run compaction work if the write buffer demands it.
+
+        The default couples compactions directly to writes (the gear
+        principle); engines with different trigger rules override this.
+        """
+        self.run_compactions()
+
+    # ------------------------------------------------------------------
+    # Abstract engine-specific behaviour.
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def get(self, key: int) -> GetResult:
+        """Point lookup of the newest version of ``key``."""
+
+    @abstractmethod
+    def scan(self, low: int, high: int) -> ScanResult:
+        """Range query over ``low <= key <= high`` (newest versions)."""
+
+    @abstractmethod
+    def run_compactions(self) -> None:
+        """Perform whatever compaction work current sizes demand."""
+
+    @abstractmethod
+    def bulk_load(self, entries: list[Entry]) -> None:
+        """Preload sorted unique entries directly into the last level."""
+
+    def tick(self, now: int) -> None:
+        """Once-per-virtual-second housekeeping hook."""
+        self.run_compactions()
+
+    @property
+    def db_size_kb(self) -> int:
+        """On-disk footprint (the paper's database-size metric)."""
+        return self.disk.live_kb
+
+    # ------------------------------------------------------------------
+    # Costed read primitives (shared by every engine's query path).
+    # ------------------------------------------------------------------
+    def _read_block(self, file: SSTableFile, block: Block, cost: ReadCost) -> None:
+        """Charge one block read through the configured cache hierarchy."""
+        if self.db_cache is not None:
+            if self.db_cache.access(file.file_id, block.index):
+                cost.cache_hit_blocks += 1
+                return
+        if self.os_cache is not None:
+            address = file.extent.start + block.index * self.config.block_size_kb
+            if self.os_cache.read(address):
+                # A page-cache hit: dearer than a DB-cache hit (syscall +
+                # copy), far cheaper than the disk.
+                cost.os_hit_blocks += 1
+                return
+        cost.disk_random_blocks += 1
+        self.disk.foreground_random_read(1)
+
+    def _probe_file(
+        self, file: SSTableFile, key: int, cost: ReadCost
+    ) -> Entry | None:
+        """Index + Bloom + block read of one file; ``None`` if absent."""
+        cost.index_probes += 1
+        block = file.find_block(key)
+        if block is None:
+            return None
+        cost.bloom_probes += 1
+        if not block.may_contain(key):
+            return None
+        self._read_block(file, block, cost)
+        entry = block.get(key)
+        if entry is None:
+            cost.false_positive_blocks += 1
+        return entry
+
+    def _search_table(
+        self, table: SortedTable, key: int, cost: ReadCost
+    ) -> Entry | None:
+        """Point lookup in one sorted run (no removed-marker handling)."""
+        cost.tables_checked += 1
+        file = table.find_file(key)
+        if file is None:
+            return None
+        return self._probe_file(file, key, cost)
+
+    def _scan_file(
+        self, file: SSTableFile, low: int, high: int, cost: ReadCost
+    ) -> tuple[list[Entry], int]:
+        """Read ``file``'s entries in range; returns (entries, uncached).
+
+        Blocks are pulled through the cache; the caller aggregates the
+        uncached blocks of one *sorted table* into a single sequential run
+        (:meth:`_charge_scan_run`) — files of a run sit contiguously, so a
+        range query pays one seek per sorted table touched, the cost model
+        behind the paper's range-query analysis (Section III).
+        """
+        blocks = file.blocks_overlapping(low, high)
+        if not blocks:
+            return [], 0
+        entries: list[Entry] = []
+        uncached = 0
+        for block in blocks:
+            if self.db_cache is not None:
+                if self.db_cache.access(file.file_id, block.index):
+                    cost.cache_hit_blocks += 1
+                else:
+                    uncached += 1
+            elif self.os_cache is not None:
+                address = (
+                    file.extent.start + block.index * self.config.block_size_kb
+                )
+                if self.os_cache.read(address):
+                    cost.os_hit_blocks += 1
+                else:
+                    uncached += 1
+            else:
+                uncached += 1
+            entries.extend(block.entries_in_range(low, high))
+        return entries, uncached
+
+    def _charge_scan_run(self, uncached_blocks: int, cost: ReadCost) -> None:
+        """Charge one sorted table's uncached scan blocks: 1 seek + stream."""
+        if uncached_blocks <= 0:
+            return
+        cost.seq_runs += 1
+        size_kb = uncached_blocks * self.config.block_size_kb
+        cost.seq_kb += size_kb
+        self.disk.foreground_sequential_read(size_kb, seeks=1)
+
+    def _scan_table_files(
+        self,
+        files: list[SSTableFile],
+        low: int,
+        high: int,
+        cost: ReadCost,
+    ) -> list[list[Entry]]:
+        """Scan one sorted table's overlapping files as a single disk run."""
+        sources: list[list[Entry]] = []
+        uncached_total = 0
+        for file in files:
+            entries, uncached = self._scan_file(file, low, high, cost)
+            uncached_total += uncached
+            if entries:
+                sources.append(entries)
+        self._charge_scan_run(uncached_total, cost)
+        return sources
+
+    # ------------------------------------------------------------------
+    # Compaction primitives (shared).
+    # ------------------------------------------------------------------
+    def _merge_into_run(
+        self,
+        source_files: list[SSTableFile],
+        target: SortedTable,
+        last_level: bool,
+        dispose_sources: bool = True,
+    ) -> MergeOutcome:
+        """Merge ``source_files`` into the sorted run ``target``.
+
+        The overlapping target files are read, merged with the sources
+        (newest version wins, tombstones dropped at the last level), and
+        replaced by freshly built files.  Inputs are charged as sequential
+        compaction reads; the builder charges the writes.  Sources are
+        disposed (extent freed, cached blocks invalidated) unless the
+        caller takes ownership — LSbM's buffered merge passes
+        ``dispose_sources=False`` and appends them to the compaction
+        buffer instead, which is the paper's zero-extra-I/O trick.
+        """
+        if not source_files:
+            raise EngineError("merge requires at least one source file")
+        low = min(f.min_key for f in source_files)
+        high = max(f.max_key for f in source_files)
+        overlapping = target.files_overlapping(low, high)
+
+        sources: list[list[Entry]] = [list(f.entries()) for f in source_files]
+        sources.extend(list(f.entries()) for f in overlapping)
+        merged, obsolete = merge_with_obsolete_count(
+            sources, drop_tombstones=last_level
+        )
+
+        read_kb = float(
+            sum(f.size_kb for f in source_files)
+            + sum(f.size_kb for f in overlapping)
+        )
+        self._charge_compaction_read(source_files + overlapping)
+
+        new_files = self.builder.build(iter(merged))
+        self._on_compaction_output(new_files)
+        write_kb = float(sum(f.size_kb for f in new_files))
+
+        dying = (list(source_files) if dispose_sources else []) + overlapping
+        self._pre_install_hook(dying, new_files)
+        target.replace_range(overlapping, new_files)
+        for file in overlapping:
+            self._discard_file(file)
+        if dispose_sources:
+            for file in source_files:
+                self._discard_file(file)
+
+        self.stats.compactions += 1
+        self.stats.compaction_read_kb += read_kb
+        self.stats.compaction_write_kb += write_kb
+        self.stats.obsolete_entries_dropped += obsolete
+        return MergeOutcome(
+            new_files=new_files,
+            obsolete_entries=obsolete,
+            read_kb=read_kb,
+            write_kb=write_kb,
+        )
+
+    def _pre_install_hook(
+        self, old_files: list[SSTableFile], new_files: list[SSTableFile]
+    ) -> None:
+        """Subclass hook invoked before a compaction's install step.
+
+        The incremental-warming-up variant overrides this to transplant
+        cache residency from the dying files onto the new ones.
+        """
+
+    def _on_compaction_output(self, new_files: list[SSTableFile]) -> None:
+        """Subclass hook for freshly written compaction output files."""
+        if self.os_cache is not None:
+            for file in new_files:
+                self.os_cache.write_allocate(file.extent.start, file.size_kb)
+
+    def _charge_compaction_read(self, files: list[SSTableFile]) -> None:
+        for file in files:
+            self.disk.background_read(file.size_kb)
+            if self.os_cache is not None:
+                self.os_cache.read_for_compaction(file.extent.start, file.size_kb)
+
+    def _discard_file(self, file: SSTableFile) -> None:
+        """Delete a file: free its extent, invalidate its cached blocks."""
+        if self.db_cache is not None:
+            self.db_cache.invalidate_file(file.file_id)
+        self.disk.free(file.extent)
+
+    def _flush_memtable_to_files(self) -> list[SSTableFile]:
+        """Write the memtable out as on-disk files (charged sequentially)."""
+        entries = self.memtable.sorted_entries()
+        self.memtable.clear()
+        if self.wal is not None and entries:
+            # The flushed data is durable in files now; drop its log tail.
+            self.wal.truncate_through(max(e.seq for e in entries))
+        files = self.builder.build(iter(entries))
+        self._on_compaction_output(files)
+        self.stats.flushes += 1
+        return files
+
+    # ------------------------------------------------------------------
+    # Crash simulation and recovery (WAL-backed engines only).
+    # ------------------------------------------------------------------
+    def simulate_crash(self) -> int:
+        """Drop the volatile memtable, as a process crash would.
+
+        Returns how many in-memory entries were lost from the memtable's
+        point of view; with the WAL enabled, :meth:`recover` gets every
+        one of them back.
+        """
+        lost = len(self.memtable)
+        self.memtable.clear()
+        return lost
+
+    def recover(self) -> int:
+        """Rebuild the memtable from the write-ahead log's tail.
+
+        Returns the number of log records replayed.  Requires
+        ``config.wal_enabled``; without a log there is nothing to replay
+        and the lost writes are simply gone (the trade-off the WAL
+        exists to prevent).
+        """
+        if self.wal is None:
+            raise EngineError("recovery requires wal_enabled=True")
+        records = self.wal.replay()
+        for record in records:
+            if record.kind == Kind.DELETE:
+                self.memtable.delete(record.key, record.seq)
+            else:
+                self.memtable.put(record.key, record.seq)
+            self._seq = max(self._seq, record.seq)
+        return len(records)
+
+    # ------------------------------------------------------------------
+    # Misc.
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError(f"engine {self.name} is closed")
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def _make_entry_result(self, entry: Entry | None, cost: ReadCost) -> GetResult:
+        """Standard translation of a search outcome to a GetResult."""
+        if entry is None or entry.is_tombstone:
+            return GetResult(False, None, cost)
+        return GetResult(True, entry.value(), cost)

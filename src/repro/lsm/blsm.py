@@ -1,0 +1,187 @@
+"""bLSM-style gear-scheduled LSM-tree (Sears & Ramakrishnan), Section IV-A.
+
+Each level ``i < k`` is split into ``Ci`` and ``Ci'``: ``Ci`` receives data
+merged down from above while ``Ci'`` drains into the next level.  The paper
+simplifies bLSM's in/out-progress regulation by bounding ``|Ci| + |Ci'|``
+by the level capacity ``Si``: whenever the bound is exceeded at level 0,
+one compaction *pass* walks the full-level prefix and moves one compaction
+unit (a super-file) at each full level — so compaction progress everywhere
+is geared to the insertion rate, and writes see predictable latency.
+
+This engine is both the bLSM baseline of the evaluation and the structural
+base class of :class:`~repro.core.lsbm.LSbMTree`, which overrides the
+rotation and per-unit compaction steps to feed its compaction buffer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EngineError
+from repro.lsm.base import GetResult, LSMEngine, MergeOutcome, ReadCost, ScanResult
+from repro.sstable.entry import Entry
+from repro.sstable.iterator import merge_entries
+from repro.sstable.sorted_table import SortedTable
+from repro.sstable.sstable import SSTableFile
+from repro.sstable.superfile import group_into_superfiles
+
+
+class BLSMTree(LSMEngine):
+    """Gear-scheduled leveled LSM-tree with Ci/Ci' per level."""
+
+    name = "blsm"
+
+    def __init__(self, config, clock, disk, db_cache=None, os_cache=None) -> None:
+        super().__init__(config, clock, disk, db_cache, os_cache)
+        self.num_levels = config.num_disk_levels
+        #: C[1..k] — the receiving run of each on-disk level.
+        self.c: list[SortedTable] = [
+            SortedTable() for _ in range(self.num_levels + 1)
+        ]
+        #: Cp[1..k-1] — the draining run (C') of each gear level.
+        self.cp: list[SortedTable] = [
+            SortedTable() for _ in range(self.num_levels + 1)
+        ]
+        #: C0' — the flushed, on-disk image of the write buffer.
+        self.c0_prime = SortedTable()
+
+    # ------------------------------------------------------------------
+    # Sizes.
+    # ------------------------------------------------------------------
+    def level_total_kb(self, level: int) -> int:
+        """``|Ci| + |Ci'|`` (level 0: memtable + C0')."""
+        if level == 0:
+            return self.memtable.size_kb + self.c0_prime.size_kb
+        return self.c[level].size_kb + self.cp[level].size_kb
+
+    def _source(self, level: int) -> SortedTable:
+        """The draining run of ``level`` (C0' for level 0, else Ci')."""
+        return self.c0_prime if level == 0 else self.cp[level]
+
+    # ------------------------------------------------------------------
+    # The gear scheduler (Algorithm 1's control flow, without the
+    # compaction-buffer lines — LSbM adds those by overriding hooks).
+    # ------------------------------------------------------------------
+    def run_compactions(self) -> None:
+        while self.level_total_kb(0) >= self.config.level0_size_kb:
+            if not self._one_pass():
+                break
+
+    def _one_pass(self) -> bool:
+        """One gear pass: compact one unit at every full level in the prefix.
+
+        Returns whether any unit moved (guards against livelock when the
+        write buffer alone exceeds S0 but holds nothing flushable).
+        """
+        progressed = False
+        for level in range(self.num_levels):  # i from 0 to k-1.
+            if self.level_total_kb(level) < self.config.level_capacity_kb(level):
+                break
+            source = self._source(level)
+            if not source:
+                self._rotate(level)
+                source = self._source(level)
+            if not source:
+                break  # Nothing materialized (e.g. an empty memtable).
+            unit = self._pop_unit(source)
+            self._compact_unit(level, unit)
+            progressed = True
+        return progressed
+
+    def _rotate(self, level: int) -> None:
+        """Start a merge round: move Ci into Ci' (flush C0 for level 0)."""
+        if level == 0:
+            if self.c0_prime:
+                raise EngineError("rotating level 0 while C0' is non-empty")
+            files = self._flush_memtable_to_files()
+            group_into_superfiles(
+                files, self.config.superfile_files, self.superfile_ids
+            )
+            self.c0_prime = SortedTable(files)
+        else:
+            if self.cp[level]:
+                raise EngineError(f"rotating level {level} while C{level}' drains")
+            self.cp[level] = self.c[level]
+            self.c[level] = SortedTable()
+
+    def _pop_unit(self, source: SortedTable) -> list[SSTableFile]:
+        """Pop the next compaction unit: one super-file's member files.
+
+        Section IV-C: the super-file is the basic operation unit of the
+        underlying LSM-tree.  Files built together share a super-file id
+        and sit contiguously at the low-key end of the draining run.
+        """
+        first = source.pop_first()
+        unit = [first]
+        while source and source.files[0].superfile_id == first.superfile_id:
+            if first.superfile_id is None:
+                break  # Ungrouped files compact one at a time.
+            unit.append(source.pop_first())
+        return unit
+
+    def _compact_unit(self, level: int, unit: list[SSTableFile]) -> MergeOutcome:
+        """Merge one unit from ``level`` into C(level+1)."""
+        target = level + 1
+        outcome = self._merge_into_run(
+            unit,
+            self.c[target],
+            last_level=target == self.num_levels,
+        )
+        group_into_superfiles(
+            outcome.new_files, self.config.superfile_files, self.superfile_ids
+        )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> GetResult:
+        self._check_open()
+        self.stats.gets += 1
+        cost = ReadCost()
+        cost.memtable_probes += 1
+        entry = self.memtable.get(key)
+        if entry is not None:
+            return self._make_entry_result(entry, cost)
+        entry = self._search_table(self.c0_prime, key, cost)
+        if entry is not None:
+            return self._make_entry_result(entry, cost)
+        for level in range(1, self.num_levels + 1):
+            entry = self._search_table(self.c[level], key, cost)
+            if entry is not None:
+                return self._make_entry_result(entry, cost)
+            if level < self.num_levels:
+                entry = self._search_table(self.cp[level], key, cost)
+                if entry is not None:
+                    return self._make_entry_result(entry, cost)
+        return GetResult(False, None, cost)
+
+    def scan(self, low: int, high: int) -> ScanResult:
+        self._check_open()
+        self.stats.scans += 1
+        cost = ReadCost()
+        sources: list[list[Entry]] = [self.memtable.entries_in_range(low, high)]
+        for table in self._all_runs():
+            overlapping = table.files_overlapping(low, high)
+            if not overlapping:
+                continue
+            cost.tables_checked += 1
+            sources.extend(self._scan_table_files(overlapping, low, high, cost))
+        entries = [e for e in merge_entries(sources) if not e.is_tombstone]  # type: ignore[arg-type]
+        return ScanResult(entries, cost)
+
+    def _all_runs(self) -> list[SortedTable]:
+        """Every on-disk sorted run, newest data first."""
+        runs = [self.c0_prime]
+        for level in range(1, self.num_levels + 1):
+            runs.append(self.c[level])
+            if level < self.num_levels:
+                runs.append(self.cp[level])
+        return runs
+
+    # ------------------------------------------------------------------
+    # Bulk loading.
+    # ------------------------------------------------------------------
+    def bulk_load(self, entries: list[Entry]) -> None:
+        files, _ = self.builder.build_grouped(iter(entries))
+        for file in files:
+            self.c[self.num_levels].append(file)
+        self._seq = max(self._seq, max((e.seq for e in entries), default=0))

@@ -1,0 +1,115 @@
+"""A LevelDB-style leveled LSM-tree (the paper's primary baseline).
+
+Structure (Section VI-C, "LevelDB maintains only one sorted table at each
+level"): each on-disk level is a single fully sorted run.  When the write
+buffer fills it is flushed and merged into C1; when a level exceeds its
+capacity, one file at a time is picked — round-robin through the key space
+via a compaction cursor, as LevelDB does — and merged with the overlapping
+files of the next level.  Every such merge rewrites the affected next-level
+files at new disk locations, invalidating their cached blocks: the
+compaction-induced cache invalidation of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from repro.lsm.base import GetResult, LSMEngine, ReadCost, ScanResult
+from repro.sstable.entry import Entry
+from repro.sstable.iterator import merge_entries
+from repro.sstable.sorted_table import SortedTable
+from repro.sstable.sstable import SSTableFile
+
+
+class LevelDBTree(LSMEngine):
+    """Leveled LSM-tree with one sorted run per on-disk level."""
+
+    name = "leveldb"
+
+    def __init__(self, config, clock, disk, db_cache=None, os_cache=None) -> None:
+        super().__init__(config, clock, disk, db_cache, os_cache)
+        self.num_levels = config.num_disk_levels
+        #: levels[1..k]; index 0 is unused (C0 is the memtable).
+        self.levels: list[SortedTable] = [
+            SortedTable() for _ in range(self.num_levels + 1)
+        ]
+        #: Per-level compaction cursor: max key of the last compacted file.
+        self._cursor: dict[int, int | None] = {
+            i: None for i in range(1, self.num_levels)
+        }
+
+    # ------------------------------------------------------------------
+    # Compactions.
+    # ------------------------------------------------------------------
+    def run_compactions(self) -> None:
+        if self.memtable.size_kb >= self.config.level0_size_kb:
+            self._flush_and_merge_into_c1()
+        for level in range(1, self.num_levels):
+            capacity = self.config.level_capacity_kb(level)
+            while self.levels[level].size_kb > capacity:
+                self._compact_one_file(level)
+
+    def _flush_and_merge_into_c1(self) -> None:
+        """Drain C0 to disk and merge the run into C1 file by file."""
+        run_files = self._flush_memtable_to_files()
+        last = self.num_levels == 1
+        for file in run_files:
+            self._merge_into_run([file], self.levels[1], last_level=last)
+
+    def _compact_one_file(self, level: int) -> None:
+        """Move one file from ``level`` to ``level + 1`` (cursor order)."""
+        file = self._pick_by_cursor(level)
+        self._cursor[level] = file.max_key
+        self.levels[level].remove(file)
+        last = level + 1 == self.num_levels
+        self._merge_into_run([file], self.levels[level + 1], last_level=last)
+
+    def _pick_by_cursor(self, level: int) -> SSTableFile:
+        files = self.levels[level].files
+        cursor = self._cursor[level]
+        if cursor is not None:
+            for file in files:
+                if file.min_key > cursor:
+                    return file
+        return files[0]  # Wrap around the key space.
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> GetResult:
+        self._check_open()
+        self.stats.gets += 1
+        cost = ReadCost()
+        cost.memtable_probes += 1
+        entry = self.memtable.get(key)
+        if entry is not None:
+            return self._make_entry_result(entry, cost)
+        for level in range(1, self.num_levels + 1):
+            entry = self._search_table(self.levels[level], key, cost)
+            if entry is not None:
+                return self._make_entry_result(entry, cost)
+        return GetResult(False, None, cost)
+
+    def scan(self, low: int, high: int) -> ScanResult:
+        self._check_open()
+        self.stats.scans += 1
+        cost = ReadCost()
+        sources: list[list[Entry]] = [self.memtable.entries_in_range(low, high)]
+        for level in range(1, self.num_levels + 1):
+            files = self.levels[level].files_overlapping(low, high)
+            if not files:
+                continue
+            cost.tables_checked += 1
+            sources.extend(self._scan_table_files(files, low, high, cost))
+        entries = [
+            e for e in merge_entries(sources) if not e.is_tombstone  # type: ignore[arg-type]
+        ]
+        return ScanResult(entries, cost)
+
+    # ------------------------------------------------------------------
+    # Bulk loading.
+    # ------------------------------------------------------------------
+    def bulk_load(self, entries: list[Entry]) -> None:
+        """Preload sorted unique entries directly into the last level."""
+        files = self.builder.build(iter(entries))
+        for file in files:
+            self.levels[self.num_levels].append(file)
+        self._seq = max(self._seq, max((e.seq for e in entries), default=0))

@@ -1,0 +1,57 @@
+"""The in-memory write buffer C0.
+
+New writes land here, sorted and deduplicated by key (a re-written key
+replaces its older in-memory version, so the memtable's size is its count
+of *unique* keys — matching how a skiplist memtable behaves).  When the
+level-0 budget fills, the engine drains the memtable to disk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.sstable.entry import Entry, Kind
+
+
+class Memtable:
+    """Sorted in-memory buffer of the newest version per key."""
+
+    def __init__(self, pair_size_kb: int) -> None:
+        self._pair_size_kb = pair_size_kb
+        self._entries: dict[int, Entry] = {}
+
+    def put(self, key: int, seq: int) -> None:
+        self._entries[key] = Entry(key, seq, Kind.PUT)
+
+    def delete(self, key: int, seq: int) -> None:
+        """Record a tombstone for ``key``."""
+        self._entries[key] = Entry(key, seq, Kind.DELETE)
+
+    def get(self, key: int) -> Entry | None:
+        return self._entries.get(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def size_kb(self) -> int:
+        """Occupied size, in KB of key-value pairs."""
+        return len(self._entries) * self._pair_size_kb
+
+    def sorted_entries(self) -> list[Entry]:
+        """All entries in key order (for a flush)."""
+        return [self._entries[key] for key in sorted(self._entries)]
+
+    def entries_in_range(self, low: int, high: int) -> list[Entry]:
+        """Entries with ``low <= key <= high`` in key order."""
+        keys = sorted(k for k in self._entries if low <= k <= high)
+        return [self._entries[key] for key in keys]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self.sorted_entries())

@@ -1,0 +1,134 @@
+"""The Stepped-Merge tree (Jagadish et al., VLDB '97) — SM-tree baseline.
+
+Section I-A / VI-D: data is organized in exponentially growing levels like
+an LSM-tree, but "data objects in a level are not fully sorted and only be
+read out and sorted when they are moved to the next level."  Each level
+holds 0..r independent sorted tables; when the write buffer fills it is
+appended to level 1 as a new table, and when level ``i`` fills, *all* its
+tables are merged together and appended to level ``i+1`` as one table.
+
+This slashes compaction traffic (and therefore cache invalidation), but the
+paper shows the two prices paid:
+
+* range queries must seek into every table of every level (228 QPS in
+  Fig. 11), and
+* obsolete versions pile up in the last level until it fills, inflating the
+  database size by ~50% with periodic whole-level merge bursts
+  (Figs. 12/13).
+"""
+
+from __future__ import annotations
+
+from repro.lsm.base import GetResult, LSMEngine, ReadCost, ScanResult
+from repro.sstable.entry import Entry
+from repro.sstable.iterator import merge_entries, merge_with_obsolete_count
+from repro.sstable.sorted_table import SortedTable
+
+
+class SMTree(LSMEngine):
+    """Stepped-merge LSM variant: multiple sorted tables per level."""
+
+    name = "sm"
+
+    def __init__(self, config, clock, disk, db_cache=None, os_cache=None) -> None:
+        super().__init__(config, clock, disk, db_cache, os_cache)
+        self.num_levels = config.num_disk_levels
+        #: levels[1..k]: newest table last.
+        self.levels: list[list[SortedTable]] = [
+            [] for _ in range(self.num_levels + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # Sizes.
+    # ------------------------------------------------------------------
+    def level_size_kb(self, level: int) -> int:
+        return sum(table.size_kb for table in self.levels[level])
+
+    # ------------------------------------------------------------------
+    # Compactions (lazy stepped merges).
+    # ------------------------------------------------------------------
+    def run_compactions(self) -> None:
+        if self.memtable.size_kb >= self.config.level0_size_kb:
+            files = self._flush_memtable_to_files()
+            self.levels[1].append(SortedTable(files))
+        for level in range(1, self.num_levels + 1):
+            if self.level_size_kb(level) >= self.config.level_capacity_kb(level):
+                self._merge_whole_level(level)
+
+    def _merge_whole_level(self, level: int) -> None:
+        """Merge every table of ``level`` into one table one level down.
+
+        For the last level the merged result stays in place — this is the
+        only moment obsolete versions (and expired tombstones) are finally
+        dropped, which is why they accumulate in between.
+        """
+        tables = self.levels[level]
+        if not tables:
+            return
+        input_files = [file for table in tables for file in table.files]
+        input_kb = float(sum(f.size_kb for f in input_files))
+        sources = [list(file.entries()) for file in input_files]
+        target_level = min(level + 1, self.num_levels)
+        drop = target_level == self.num_levels
+        merged, obsolete = merge_with_obsolete_count(sources, drop_tombstones=drop)
+
+        self._charge_compaction_read(input_files)
+        new_files = self.builder.build(iter(merged))
+        self._on_compaction_output(new_files)
+        output_kb = float(sum(f.size_kb for f in new_files))
+        # Inputs and output coexist until the install completes; this is
+        # the transient space behind Fig. 12's bursts.
+        self.disk.note_temp_space(input_kb)
+
+        self.levels[level] = []
+        self.levels[target_level].append(SortedTable(new_files))
+        for file in input_files:
+            self._discard_file(file)
+
+        self.stats.compactions += 1
+        self.stats.compaction_read_kb += input_kb
+        self.stats.compaction_write_kb += output_kb
+        self.stats.obsolete_entries_dropped += obsolete
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> GetResult:
+        self._check_open()
+        self.stats.gets += 1
+        cost = ReadCost()
+        cost.memtable_probes += 1
+        entry = self.memtable.get(key)
+        if entry is not None:
+            return self._make_entry_result(entry, cost)
+        for level in range(1, self.num_levels + 1):
+            for table in reversed(self.levels[level]):  # Newest first.
+                entry = self._search_table(table, key, cost)
+                if entry is not None:
+                    return self._make_entry_result(entry, cost)
+        return GetResult(False, None, cost)
+
+    def scan(self, low: int, high: int) -> ScanResult:
+        self._check_open()
+        self.stats.scans += 1
+        cost = ReadCost()
+        sources: list[list[Entry]] = [self.memtable.entries_in_range(low, high)]
+        for level in range(1, self.num_levels + 1):
+            for table in self.levels[level]:
+                overlapping = table.files_overlapping(low, high)
+                if not overlapping:
+                    continue
+                cost.tables_checked += 1
+                sources.extend(
+                    self._scan_table_files(overlapping, low, high, cost)
+                )
+        entries = [e for e in merge_entries(sources) if not e.is_tombstone]  # type: ignore[arg-type]
+        return ScanResult(entries, cost)
+
+    # ------------------------------------------------------------------
+    # Bulk loading.
+    # ------------------------------------------------------------------
+    def bulk_load(self, entries: list[Entry]) -> None:
+        files = self.builder.build(iter(entries))
+        self.levels[self.num_levels].append(SortedTable(files))
+        self._seq = max(self._seq, max((e.seq for e in entries), default=0))

@@ -1,0 +1,32 @@
+"""Simulation harness: clock, driver, metrics, experiments, reporting."""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.driver import MixedReadWriteDriver
+from repro.sim.experiment import (
+    ENGINE_NAMES,
+    ExperimentSetup,
+    build_engine,
+    preload,
+    run_experiment,
+)
+from repro.sim.metrics import RunResult, TimeSeries
+from repro.sim.report import ascii_table, series_block, sparkline
+
+__all__ = [
+    "ENGINE_NAMES",
+    "ExperimentSetup",
+    "MixedReadWriteDriver",
+    "RunResult",
+    "TimeSeries",
+    "VirtualClock",
+    "ascii_table",
+    "build_engine",
+    "preload",
+    "run_experiment",
+    "series_block",
+    "sparkline",
+]
+
+from repro.sim.ycsb_driver import YCSBDriver  # noqa: E402
+
+__all__.append("YCSBDriver")

@@ -1,0 +1,11 @@
+"""Compatibility re-export; the clock lives at :mod:`repro.clock`.
+
+Low-level substrates (storage, engines) need the clock without pulling in
+the whole simulation package, so the implementation sits above the ``sim``
+namespace; this alias keeps ``repro.sim.VirtualClock`` importable as the
+natural name for simulation code.
+"""
+
+from repro.clock import VirtualClock
+
+__all__ = ["VirtualClock"]

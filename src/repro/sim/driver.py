@@ -1,0 +1,189 @@
+"""The mixed read/write simulation driver.
+
+Reproduces the paper's measurement loop (Section VI-B): one thread writes
+at a fixed rate (1,000 OPS) while eight reader threads issue point reads
+or range queries as fast as the system serves them, for 20,000 seconds,
+with per-second statistics logged.
+
+Here one virtual second is one driver tick:
+
+1. apply this second's share of paced writes (a fractional-credit
+   accumulator keeps the long-run rate exact);
+2. let the engine run its compaction work and housekeeping (``tick``);
+3. read the disk's background utilization for this second — compaction
+   traffic slows foreground I/O through the queueing factor;
+4. spend ``read_threads`` thread-seconds issuing reads, pricing each one
+   from its :class:`~repro.lsm.base.ReadCost` via the I/O cost model
+   (each simulated read stands for ``ops_scale`` real reads, so reported
+   throughput is paper-comparable);
+5. sample the per-second metrics.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache.stats import CacheStats
+from repro.config import SystemConfig
+from repro.lsm.base import ReadCost
+from repro.clock import VirtualClock
+from repro.sim.metrics import RunResult
+from repro.storage.iomodel import IOCostModel
+from repro.workload.ycsb import RangeHotWorkload
+
+#: Hard cap on simulated reads per tick, guarding against a degenerate
+#: (near-zero) priced cost making a tick spin forever.
+_MAX_READS_PER_TICK = 50_000
+
+
+class MixedReadWriteDriver:
+    """Runs one engine under the paper's mixed read/write measurement."""
+
+    def __init__(
+        self,
+        engine,
+        config: SystemConfig,
+        clock: VirtualClock,
+        workload: RangeHotWorkload | None = None,
+        seed: int = 0,
+        scan_mode: bool = False,
+        metric_cache=None,
+    ) -> None:
+        """``scan_mode`` switches readers from point reads (Fig. 8/9) to
+        the paper's 100 KB range queries (Fig. 10/11).  ``metric_cache``
+        is the cache whose hit ratio forms the reported series; defaults
+        to the engine's DB cache, falling back to its OS cache."""
+        self.engine = engine
+        self.config = config
+        self.clock = clock
+        self.workload = workload or RangeHotWorkload(config)
+        self.rng = random.Random(seed)
+        self.scan_mode = scan_mode
+        self.cost_model = IOCostModel(config)
+        if metric_cache is None:
+            metric_cache = getattr(engine, "db_cache", None)
+            if metric_cache is None:
+                metric_cache = getattr(engine, "os_cache", None)
+        self.metric_cache = metric_cache
+        self._write_credit = 0.0
+        self._read_debt = 0.0
+        self._last_cache_stats: CacheStats | None = None
+        self._last_hit_sample_tick: int | None = None
+        #: Hit-ratio points are computed over windows of this many ticks so
+        #: each point aggregates enough reads to be a meaningful ratio (a
+        #: per-tick ratio over a handful of reads is dominated by sampling
+        #: noise and, averaged, biased low: miss ticks complete few reads).
+        self.hit_ratio_window_s = 20
+
+    # ------------------------------------------------------------------
+    # Pricing.
+    # ------------------------------------------------------------------
+    def price_read(
+        self,
+        cost: ReadCost,
+        pairs_returned: int,
+        utilization: float,
+        is_scan: bool = False,
+    ) -> float:
+        """Modeled service seconds of one (simulated) read."""
+        config = self.config
+        seconds = config.cache_hit_s  # Per-operation base CPU.
+        seconds += cost.cache_hit_blocks * config.block_hit_s
+        seconds += cost.os_hit_blocks * config.os_hit_s
+        seconds += pairs_returned * config.scan_pair_cpu_s
+        if is_scan:
+            # Range queries position an iterator on every sorted table
+            # they touch; point reads pay per-probe costs instead.
+            seconds += cost.tables_checked * config.scan_table_cpu_s
+        seconds += self.cost_model.bloom_probe_s(cost.bloom_probes)
+        if cost.disk_random_blocks:
+            seconds += self.cost_model.random_read_s(
+                cost.disk_random_blocks, utilization
+            )
+        if cost.seq_runs or cost.seq_kb:
+            seconds += self.cost_model.sequential_s(
+                cost.seq_kb, seeks=cost.seq_runs, utilization=utilization
+            )
+        return seconds * config.ops_scale
+
+    # ------------------------------------------------------------------
+    # The run loop.
+    # ------------------------------------------------------------------
+    def run(self, duration_s: int | None = None, sample_every: int = 1) -> RunResult:
+        """Drive the engine for ``duration_s`` virtual seconds."""
+        duration = duration_s if duration_s is not None else self.config.duration_s
+        result = RunResult(
+            engine=getattr(self.engine, "name", type(self.engine).__name__),
+            duration_s=duration,
+        )
+        for _ in range(duration):
+            now = self.clock.now
+            self._apply_writes(result)
+            self.engine.tick(now)
+            utilization = self.engine.disk.utilization()
+            reads = self._apply_reads(utilization, result)
+            if now % sample_every == 0:
+                self._sample(now, reads, utilization, result)
+            self.clock.advance(1)
+        return result
+
+    def _apply_writes(self, result: RunResult) -> None:
+        self._write_credit += self.config.write_rate_pairs_per_s
+        count = int(self._write_credit)
+        self._write_credit -= count
+        for _ in range(count):
+            self.engine.put(self.workload.next_write_key(self.rng))
+            result.writes_applied += 1
+
+    def _apply_reads(self, utilization: float, result: RunResult) -> int:
+        # A read that started near the end of a second keeps its threads
+        # busy into the next one; the debt carries over so thread-time is
+        # conserved over the run (threads blocked on a long disk read are
+        # simply unavailable).
+        budget = float(self.config.read_threads) - self._read_debt
+        reads = 0
+        while budget > 0.0 and reads < _MAX_READS_PER_TICK:
+            if self.scan_mode:
+                low, high = self.workload.next_scan_range(self.rng)
+                scan = self.engine.scan(low, high)
+                cost, pairs = scan.cost, len(scan.entries)
+            else:
+                key = self.workload.next_read_key(self.rng)
+                got = self.engine.get(key)
+                cost, pairs = got.cost, 0
+            priced = self.price_read(cost, pairs, utilization, self.scan_mode)
+            budget -= priced
+            result.read_latencies_s.append(priced / self.config.ops_scale)
+            reads += 1
+        self._read_debt = -budget if budget < 0.0 else 0.0
+        result.reads_completed += reads
+        return reads
+
+    def _sample(
+        self, now: int, reads: int, utilization: float, result: RunResult
+    ) -> None:
+        result.throughput_qps.add(now, reads * self.config.ops_scale)
+        if self.metric_cache is not None:
+            stats = self.metric_cache.stats
+            due = (
+                self._last_hit_sample_tick is None
+                or now - self._last_hit_sample_tick >= self.hit_ratio_window_s
+            )
+            if due:
+                if self._last_cache_stats is None:
+                    ratio = stats.hit_ratio
+                else:
+                    ratio = stats.interval_hit_ratio(self._last_cache_stats)
+                self._last_cache_stats = stats.snapshot()
+                self._last_hit_sample_tick = now
+                result.hit_ratio.add(now, ratio)
+            result.cache_usage.add(now, self.metric_cache.usage)
+        disk = self.engine.disk
+        size_kb = disk.live_kb + disk.tick_temp_space_kb()
+        result.db_size_mb.add(now, size_kb * self.config.ops_scale / 1024.0)
+        result.disk_utilization.add(now, utilization)
+        buffer_kb = getattr(self.engine, "compaction_buffer_kb", None)
+        if buffer_kb is not None:
+            result.buffer_size_mb.add(
+                now, buffer_kb * self.config.ops_scale / 1024.0
+            )

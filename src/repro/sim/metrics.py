@@ -1,0 +1,164 @@
+"""Time-series metric collection for experiment runs.
+
+Every figure in the paper's evaluation is either a per-second time series
+(hit ratio, throughput, database size) or an average of one over the run.
+:class:`TimeSeries` stores one sampled quantity; :class:`RunResult` bundles
+the standard set the driver collects, with the averaging helpers the
+summary figures (9, 11, 13) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TimeSeries:
+    """A uniformly sampled (time, value) series."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: list[int] = []
+        self.values: list[float] = []
+
+    def add(self, time: int, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self, skip: int = 0) -> float:
+        """Average of the samples after skipping ``skip`` warm-up samples."""
+        window = self.values[skip:]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def minimum(self, skip: int = 0) -> float:
+        window = self.values[skip:]
+        return min(window) if window else 0.0
+
+    def maximum(self, skip: int = 0) -> float:
+        window = self.values[skip:]
+        return max(window) if window else 0.0
+
+    def stddev(self, skip: int = 0) -> float:
+        window = self.values[skip:]
+        if len(window) < 2:
+            return 0.0
+        mean = sum(window) / len(window)
+        return (sum((v - mean) ** 2 for v in window) / (len(window) - 1)) ** 0.5
+
+    def bucketed(self, buckets: int) -> list[tuple[int, float]]:
+        """Downsample into ``buckets`` (time, mean) points for printing."""
+        if not self.values or buckets < 1:
+            return []
+        size = max(1, len(self.values) // buckets)
+        points: list[tuple[int, float]] = []
+        for start in range(0, len(self.values), size):
+            chunk = self.values[start : start + size]
+            points.append((self.times[start], sum(chunk) / len(chunk)))
+        return points
+
+    def dips_below(self, threshold: float, skip: int = 0) -> int:
+        """Count downward crossings of ``threshold`` (periodicity probe).
+
+        Fig. 8's oscillation shows up as repeated crossings; a steady
+        series crosses at most once.
+        """
+        crossings = 0
+        above = None
+        for value in self.values[skip:]:
+            is_above = value >= threshold
+            if above is True and not is_above:
+                crossings += 1
+            above = is_above
+        return crossings
+
+
+@dataclass
+class RunResult:
+    """Everything one driver run measured."""
+
+    engine: str
+    config_note: str = ""
+    hit_ratio: TimeSeries = field(default_factory=lambda: TimeSeries("hit_ratio"))
+    throughput_qps: TimeSeries = field(
+        default_factory=lambda: TimeSeries("throughput_qps")
+    )
+    db_size_mb: TimeSeries = field(default_factory=lambda: TimeSeries("db_size_mb"))
+    cache_usage: TimeSeries = field(
+        default_factory=lambda: TimeSeries("cache_usage")
+    )
+    disk_utilization: TimeSeries = field(
+        default_factory=lambda: TimeSeries("disk_utilization")
+    )
+    buffer_size_mb: TimeSeries = field(
+        default_factory=lambda: TimeSeries("buffer_size_mb")
+    )
+    reads_completed: int = 0
+    writes_applied: int = 0
+    duration_s: int = 0
+    #: Modeled per-operation read latencies in real seconds (one sample
+    #: per simulated read, already divided back by ``ops_scale``).
+    read_latencies_s: list[float] = field(default_factory=list)
+
+    def warmup_samples(self, fraction: float = 0.1) -> int:
+        """Sample count to skip so summaries ignore the cold start."""
+        return int(len(self.hit_ratio) * fraction)
+
+    def mean_hit_ratio(self, warmup_fraction: float = 0.1) -> float:
+        return self.hit_ratio.mean(self.warmup_samples(warmup_fraction))
+
+    def mean_throughput(self, warmup_fraction: float = 0.1) -> float:
+        return self.throughput_qps.mean(self.warmup_samples(warmup_fraction))
+
+    def mean_db_size_mb(self, warmup_fraction: float = 0.0) -> float:
+        return self.db_size_mb.mean(self.warmup_samples(warmup_fraction))
+
+    def latency_percentile_s(self, percentile: float) -> float:
+        """Read-latency percentile (e.g. 50, 99) over the whole run."""
+        if not self.read_latencies_s:
+            return 0.0
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {percentile}")
+        ordered = sorted(self.read_latencies_s)
+        rank = min(
+            len(ordered) - 1, max(0, round(percentile / 100 * (len(ordered) - 1)))
+        )
+        return ordered[rank]
+
+    def to_csv_rows(self) -> list[str]:
+        """The per-second series as CSV lines (header first).
+
+        Columns: time, throughput_qps, hit_ratio (blank between hit-ratio
+        sampling windows), db_size_mb, cache_usage, disk_utilization,
+        buffer_size_mb (blank for engines without a compaction buffer).
+        """
+        hit_by_time = dict(zip(self.hit_ratio.times, self.hit_ratio.values))
+        usage_by_time = dict(zip(self.cache_usage.times, self.cache_usage.values))
+        buffer_by_time = dict(
+            zip(self.buffer_size_mb.times, self.buffer_size_mb.values)
+        )
+        rows = [
+            "time_s,throughput_qps,hit_ratio,db_size_mb,cache_usage,"
+            "disk_utilization,buffer_size_mb"
+        ]
+        for index, time in enumerate(self.throughput_qps.times):
+            hit = hit_by_time.get(time)
+            usage = usage_by_time.get(time)
+            buffer_mb = buffer_by_time.get(time)
+            rows.append(
+                ",".join(
+                    [
+                        str(time),
+                        f"{self.throughput_qps.values[index]:.3f}",
+                        "" if hit is None else f"{hit:.4f}",
+                        f"{self.db_size_mb.values[index]:.1f}",
+                        "" if usage is None else f"{usage:.4f}",
+                        f"{self.disk_utilization.values[index]:.4f}",
+                        "" if buffer_mb is None else f"{buffer_mb:.1f}",
+                    ]
+                )
+            )
+        return rows

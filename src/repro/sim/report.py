@@ -1,0 +1,66 @@
+"""Plain-text reporting: the rows and series the paper's figures plot.
+
+The benchmarks print their results through these helpers so that a run's
+output can be compared side by side with the paper (EXPERIMENTS.md keeps
+the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sim.metrics import TimeSeries
+
+_BAR_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def sparkline(series: TimeSeries, buckets: int = 60, lo: float | None = None,
+              hi: float | None = None) -> str:
+    """One-line unicode rendering of a time series (the figures' curves)."""
+    points = series.bucketed(buckets)
+    if not points:
+        return "(empty)"
+    values = [v for _, v in points]
+    low = min(values) if lo is None else lo
+    high = max(values) if hi is None else hi
+    span = (high - low) or 1.0
+    glyphs = []
+    for value in values:
+        scaled = (value - low) / span
+        glyphs.append(_BAR_GLYPHS[min(8, max(0, int(scaled * 8.999)))])
+    return "".join(glyphs)
+
+
+def series_block(title: str, series: TimeSeries, unit: str = "",
+                 buckets: int = 60) -> str:
+    """A titled sparkline with min/mean/max annotations."""
+    if not len(series):
+        return f"{title}: (no samples)"
+    return (
+        f"{title}\n"
+        f"  {sparkline(series, buckets)}\n"
+        f"  min={series.minimum():.3g}{unit}"
+        f" mean={series.mean():.3g}{unit}"
+        f" max={series.maximum():.3g}{unit}"
+        f" over {len(series)} samples"
+    )
+
+
+def format_qps(value: float) -> str:
+    return f"{value:,.0f}"
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.3f}"

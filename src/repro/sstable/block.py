@@ -1,0 +1,90 @@
+"""Single-page blocks (Section II-A).
+
+"Continuous Key-Value pairs are packed in a single-page block which maps to
+one single disk page.  For each single-page block, a bloom filter is built
+to check whether a key is contained in this block."
+
+A block is immutable after construction.  Lookups use binary search over
+the sorted key array; the Bloom filter is consulted by the engines *before*
+touching the block so that false positives cost a (possibly disk) block
+read, exactly as in the paper's cost discussion (Section III).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterator, Sequence
+
+from repro.bloom import BloomFilter
+from repro.errors import TableError
+from repro.sstable.entry import Entry
+
+
+class Block:
+    """An immutable sorted run of entries occupying one disk page."""
+
+    __slots__ = ("_keys", "_entries", "bloom", "index")
+
+    def __init__(
+        self,
+        entries: Sequence[Entry],
+        bits_per_key: int,
+        index: int,
+    ) -> None:
+        if not entries:
+            raise TableError("a block must contain at least one entry")
+        keys = [entry.key for entry in entries]
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            raise TableError("block entries must be strictly sorted by key")
+        self._keys = keys
+        self._entries = tuple(entries)
+        self.bloom = BloomFilter.build(keys, bits_per_key)
+        #: Position of this block inside its file.
+        self.index = index
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def min_key(self) -> int:
+        return self._keys[0]
+
+    @property
+    def max_key(self) -> int:
+        return self._keys[-1]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> tuple[Entry, ...]:
+        return self._entries
+
+    # ------------------------------------------------------------------
+    # Lookups.
+    # ------------------------------------------------------------------
+    def covers(self, key: int) -> bool:
+        """Whether ``key`` falls inside this block's key range."""
+        return self.min_key <= key <= self.max_key
+
+    def may_contain(self, key: int) -> bool:
+        """The Bloom-filter membership test (probabilistic)."""
+        return self.bloom.may_contain(key)
+
+    def get(self, key: int) -> Entry | None:
+        """Exact lookup inside the block."""
+        position = bisect_left(self._keys, key)
+        if position < len(self._keys) and self._keys[position] == key:
+            return self._entries[position]
+        return None
+
+    def entries_in_range(self, low: int, high: int) -> list[Entry]:
+        """All entries with ``low <= key <= high`` (inclusive bounds)."""
+        if high < low:
+            return []
+        start = bisect_left(self._keys, low)
+        end = bisect_left(self._keys, high + 1)
+        return list(self._entries[start:end])

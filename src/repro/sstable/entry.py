@@ -1,0 +1,52 @@
+"""Key-value entries.
+
+Keys are integers (YCSB-style numeric keys); a value is reconstructed
+deterministically from ``(key, seq)`` so the simulation never materializes
+payload bytes, while correctness tests can still verify that a read
+returned the value written by the latest put.  ``seq`` is a global
+sequence number assigned at write time; a larger ``seq`` is a newer
+version.  Deletes are tombstone entries, dropped when they reach the last
+level.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class Kind(enum.IntEnum):
+    """What an entry means."""
+
+    PUT = 0
+    DELETE = 1
+
+
+class Entry(NamedTuple):
+    """One versioned key-value record."""
+
+    key: int
+    seq: int
+    kind: Kind = Kind.PUT
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.kind == Kind.DELETE
+
+    def value(self) -> str | None:
+        """The payload this entry carries (``None`` for a tombstone)."""
+        if self.is_tombstone:
+            return None
+        return value_for(self.key, self.seq)
+
+
+def value_for(key: int, seq: int) -> str:
+    """The deterministic payload of version ``seq`` of ``key``."""
+    return f"v{key}:{seq}"
+
+
+def newest(a: Entry, b: Entry) -> Entry:
+    """The more recent of two versions of the same key."""
+    if a.key != b.key:
+        raise ValueError(f"entries for different keys: {a.key} vs {b.key}")
+    return a if a.seq >= b.seq else b

@@ -1,0 +1,70 @@
+"""Merging iterators for compactions.
+
+A compaction merge-sorts several sorted sources into one, keeping only the
+newest version of each key (the version with the largest sequence number)
+and optionally dropping tombstones when the output lands in the last level
+— at that point no older version can exist below, so the tombstone has
+done its job.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+
+from repro.sstable.entry import Entry
+
+
+def merge_entries(
+    sources: list[Iterable[Entry]],
+    drop_tombstones: bool = False,
+) -> Iterator[Entry]:
+    """K-way merge of sorted entry sources with newest-wins deduplication.
+
+    Each source must be strictly sorted by key with unique keys *within*
+    the source; across sources the same key may appear with different
+    sequence numbers.  Yields strictly sorted unique keys.
+    """
+    # Heap items: (key, -seq, tiebreak, entry, iterator).  Ordering by
+    # (key, -seq) surfaces the newest version of each key first.
+    heap: list[tuple[int, int, int, Entry, Iterator[Entry]]] = []
+    for tiebreak, source in enumerate(sources):
+        iterator = iter(source)
+        first = next(iterator, None)
+        if first is not None:
+            heap.append((first.key, -first.seq, tiebreak, first, iterator))
+    heapq.heapify(heap)
+
+    previous_key: int | None = None
+    while heap:
+        key, _, tiebreak, entry, iterator = heapq.heappop(heap)
+        following = next(iterator, None)
+        if following is not None:
+            heapq.heappush(
+                heap,
+                (following.key, -following.seq, tiebreak, following, iterator),
+            )
+        if key == previous_key:
+            continue  # An older version of a key already emitted.
+        previous_key = key
+        if drop_tombstones and entry.is_tombstone:
+            continue
+        yield entry
+
+
+def merge_with_obsolete_count(
+    sources: list[list[Entry]],
+    drop_tombstones: bool = False,
+) -> tuple[list[Entry], int]:
+    """Merge ``sources`` fully, returning (result, obsolete entry count).
+
+    The obsolete count — how many input entries were shadowed by newer
+    versions or dropped as expired tombstones — is what LSbM's freeze
+    detector (Section IV-A) reacts to: when a merge into level ``i+1``
+    drops data, the level received repeated keys and ``B(i+1)`` must be
+    frozen.  ``sources`` must be materialized lists so they can be both
+    counted and merged.
+    """
+    total_inputs = sum(len(source) for source in sources)
+    merged = list(merge_entries(list(sources), drop_tombstones=drop_tombstones))
+    return merged, total_inputs - len(merged)

@@ -1,0 +1,153 @@
+"""Sorted tables (Section II-A).
+
+"The data in each of those levels are organized as one or multiple sorted
+structures ... called sorted tables.  Each sorted table is a B-tree-like
+directory structure."  A sorted table here is an ordered collection of
+non-overlapping files with binary-search access by key and by range.
+
+The same class backs both the underlying LSM-tree's runs and the
+compaction-buffer lists; the only compaction-buffer peculiarity is that
+member files may carry the ``removed`` marker (data gone, key range kept),
+which lookups surface to the caller instead of hiding — Algorithms 3/4
+must *stop* when they meet a removed file.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterable, Iterator
+
+from repro.errors import TableError
+from repro.sstable.entry import Entry
+from repro.sstable.sstable import SSTableFile
+
+
+class SortedTable:
+    """An ordered, non-overlapping collection of files."""
+
+    def __init__(self, files: Iterable[SSTableFile] = ()) -> None:
+        self._files: list[SSTableFile] = []
+        self._max_keys: list[int] = []
+        for file in files:
+            self.append(file)
+
+    # ------------------------------------------------------------------
+    # Mutation (compactions install/remove whole files).
+    # ------------------------------------------------------------------
+    def append(self, file: SSTableFile) -> None:
+        """Add ``file`` at the high end (files arrive in key order)."""
+        if self._files and file.min_key <= self._files[-1].max_key:
+            raise TableError(
+                f"file {file.file_id} overlaps the table tail "
+                f"({file.min_key} <= {self._files[-1].max_key})"
+            )
+        self._files.append(file)
+        self._max_keys.append(file.max_key)
+
+    def remove(self, file: SSTableFile) -> None:
+        """Detach ``file`` from the table (it keeps its own state)."""
+        try:
+            position = self._files.index(file)
+        except ValueError:
+            raise TableError(f"file {file.file_id} not in table") from None
+        del self._files[position]
+        del self._max_keys[position]
+
+    def replace_range(
+        self, old: list[SSTableFile], new: list[SSTableFile]
+    ) -> None:
+        """Atomically substitute a contiguous run of files.
+
+        This is the install step of a compaction: the overlapping input
+        files ``old`` leave the table and the freshly written ``new`` files
+        take their place.
+        """
+        if not old:
+            for file in new:
+                self.insert_sorted(file)
+            return
+        start = self._files.index(old[0])
+        if self._files[start : start + len(old)] != old:
+            raise TableError("replace_range: old files are not contiguous")
+        self._files[start : start + len(old)] = new
+        self._max_keys[start : start + len(old)] = [f.max_key for f in new]
+        self._check_sorted()
+
+    def insert_sorted(self, file: SSTableFile) -> None:
+        """Insert ``file`` at its key-order position."""
+        position = bisect_left(self._max_keys, file.min_key)
+        self._files.insert(position, file)
+        self._max_keys.insert(position, file.max_key)
+        self._check_sorted()
+
+    def pop_first(self) -> SSTableFile:
+        """Remove and return the file with the smallest keys."""
+        if not self._files:
+            raise TableError("pop from an empty sorted table")
+        self._max_keys.pop(0)
+        return self._files.pop(0)
+
+    def _check_sorted(self) -> None:
+        for left, right in zip(self._files, self._files[1:]):
+            if left.max_key >= right.min_key:
+                raise TableError(
+                    f"files {left.file_id} and {right.file_id} overlap"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __bool__(self) -> bool:
+        return bool(self._files)
+
+    def __iter__(self) -> Iterator[SSTableFile]:
+        return iter(self._files)
+
+    @property
+    def files(self) -> list[SSTableFile]:
+        return list(self._files)
+
+    @property
+    def size_kb(self) -> int:
+        """Live data size (removed markers contribute nothing)."""
+        return sum(f.size_kb for f in self._files if not f.removed)
+
+    @property
+    def min_key(self) -> int | None:
+        return self._files[0].min_key if self._files else None
+
+    @property
+    def max_key(self) -> int | None:
+        return self._files[-1].max_key if self._files else None
+
+    # ------------------------------------------------------------------
+    # Lookups.
+    # ------------------------------------------------------------------
+    def find_file(self, key: int) -> SSTableFile | None:
+        """The file whose range covers ``key`` (may carry ``removed``)."""
+        position = bisect_left(self._max_keys, key)
+        if position >= len(self._files):
+            return None
+        file = self._files[position]
+        return file if file.covers(key) else None
+
+    def files_overlapping(self, low: int, high: int) -> list[SSTableFile]:
+        """All files intersecting ``[low, high]`` in key order."""
+        if high < low:
+            return []
+        position = bisect_left(self._max_keys, low)
+        result: list[SSTableFile] = []
+        for file in self._files[position:]:
+            if file.min_key > high:
+                break
+            result.append(file)
+        return result
+
+    def entries(self) -> Iterator[Entry]:
+        """All live entries in key order (skips removed markers)."""
+        for file in self._files:
+            if not file.removed:
+                yield from file.entries()

@@ -1,0 +1,13 @@
+"""Simulated storage substrate: extents, cost model, virtual disk."""
+
+from repro.storage.disk import DiskStats, SimulatedDisk
+from repro.storage.extent import Extent, ExtentAllocator
+from repro.storage.iomodel import IOCostModel
+
+__all__ = [
+    "DiskStats",
+    "Extent",
+    "ExtentAllocator",
+    "IOCostModel",
+    "SimulatedDisk",
+]

@@ -1,0 +1,184 @@
+"""The simulated disk: extent allocation plus an I/O accounting ledger.
+
+Engines never read or write real bytes; they tell the disk *what* they did
+(allocate a file's extent, stream N KB sequentially for a compaction, read
+one random block for a query miss) and the disk keeps the books:
+
+* live capacity (`live_kb`) — the database-size metric of Figs. 12/13,
+* cumulative read/write traffic split by random/sequential,
+* a per-virtual-second bandwidth ledger for *background* (compaction) I/O,
+  from which the driver derives device utilization and, through
+  :class:`~repro.storage.iomodel.IOCostModel`, the queueing slowdown that
+  foreground queries experience.
+
+The disk also exposes page-level physical addresses so the OS buffer cache
+(which caches by physical location, not by file) can observe compaction
+traffic — the mechanism behind Fig. 2's OS-cache churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.clock import VirtualClock
+from repro.storage.extent import Extent, ExtentAllocator
+
+
+@dataclass
+class DiskStats:
+    """Cumulative I/O counters, all in KB or operation counts."""
+
+    seq_read_kb: float = 0.0
+    seq_write_kb: float = 0.0
+    random_read_blocks: int = 0
+    seeks: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    def snapshot(self) -> "DiskStats":
+        return DiskStats(
+            seq_read_kb=self.seq_read_kb,
+            seq_write_kb=self.seq_write_kb,
+            random_read_blocks=self.random_read_blocks,
+            seeks=self.seeks,
+            allocations=self.allocations,
+            frees=self.frees,
+        )
+
+
+@dataclass
+class _TickLedger:
+    """Background (compaction) traffic recorded for one virtual second."""
+
+    second: int = -1
+    background_kb: float = 0.0
+    background_seeks: int = 0
+    temp_space_kb: float = field(default=0.0)
+
+
+class SimulatedDisk:
+    """Extent-allocating virtual disk with per-second bandwidth accounting."""
+
+    def __init__(self, clock: VirtualClock, seq_bandwidth_kb_per_s: float) -> None:
+        if seq_bandwidth_kb_per_s <= 0:
+            raise StorageError("sequential bandwidth must be positive")
+        self._clock = clock
+        self._bandwidth = seq_bandwidth_kb_per_s
+        self._allocator = ExtentAllocator()
+        self.stats = DiskStats()
+        self._tick = _TickLedger()
+        #: Background work queued but not yet absorbed by the device.  A
+        #: compaction step is *issued* within one virtual second but its
+        #: I/O physically streams at the device's bandwidth, so the excess
+        #: carries over as backlog and keeps utilization (and therefore
+        #: foreground queueing) elevated for the following seconds — as a
+        #: real disk would behave.
+        self._backlog_kb = 0.0
+
+    # ------------------------------------------------------------------
+    # Space management.
+    # ------------------------------------------------------------------
+    def allocate(self, size_kb: int) -> Extent:
+        """Allocate a contiguous extent (one file or super-file)."""
+        extent = self._allocator.allocate(size_kb)
+        self.stats.allocations += 1
+        return extent
+
+    def free(self, extent: Extent) -> None:
+        """Release an extent; its addresses are never reused."""
+        self._allocator.free(extent)
+        self.stats.frees += 1
+
+    def is_live(self, extent: Extent) -> bool:
+        return self._allocator.is_live(extent)
+
+    @property
+    def live_kb(self) -> int:
+        """Current on-disk footprint — the paper's "database size"."""
+        return self._allocator.live_kb
+
+    @property
+    def live_extents(self) -> int:
+        return self._allocator.live_extents
+
+    # ------------------------------------------------------------------
+    # Background (compaction) I/O accounting.
+    # ------------------------------------------------------------------
+    def background_read(self, size_kb: float, seeks: int = 1) -> None:
+        """Record a sequential compaction read of ``size_kb``."""
+        self._record_background(size_kb, seeks)
+        self.stats.seq_read_kb += size_kb
+
+    def background_write(self, size_kb: float, seeks: int = 1) -> None:
+        """Record a sequential compaction write of ``size_kb``."""
+        self._record_background(size_kb, seeks)
+        self.stats.seq_write_kb += size_kb
+
+    def note_temp_space(self, size_kb: float) -> None:
+        """Record transient space held during this second's compaction.
+
+        SM-tree's whole-level merges hold input *and* output on disk until
+        the new table is installed; Fig. 12's size bursts come from exactly
+        this.  The driver samples ``live_kb + temp space`` once per second.
+        """
+        self._roll_tick()
+        self._tick.temp_space_kb = max(self._tick.temp_space_kb, size_kb)
+
+    def _record_background(self, size_kb: float, seeks: int) -> None:
+        if size_kb < 0:
+            raise StorageError(f"negative I/O size: {size_kb}")
+        self._roll_tick()
+        self._tick.background_kb += size_kb
+        self._tick.background_seeks += seeks
+        self.stats.seeks += seeks
+
+    def _roll_tick(self) -> None:
+        if self._tick.second != self._clock.now:
+            if self._tick.second >= 0:
+                elapsed = self._clock.now - self._tick.second
+                pending = self._backlog_kb + self._pending_tick_kb()
+                self._backlog_kb = max(0.0, pending - elapsed * self._bandwidth)
+            self._tick = _TickLedger(second=self._clock.now)
+
+    def _pending_tick_kb(self) -> float:
+        """This tick's background work, seeks converted to transfer-KB."""
+        return (
+            self._tick.background_kb
+            + self._tick.background_seeks * 0.005 * self._bandwidth
+        )
+
+    # ------------------------------------------------------------------
+    # Foreground I/O accounting (queries). Costing happens in IOCostModel;
+    # the disk only keeps cumulative counters.
+    # ------------------------------------------------------------------
+    def foreground_random_read(self, blocks: int = 1) -> None:
+        self.stats.random_read_blocks += blocks
+        self.stats.seeks += blocks
+
+    def foreground_sequential_read(self, size_kb: float, seeks: int = 1) -> None:
+        self.stats.seq_read_kb += size_kb
+        self.stats.seeks += seeks
+
+    # ------------------------------------------------------------------
+    # Utilization.
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of the current second consumed by background I/O.
+
+        Includes carried-over backlog: a burst bigger than one second of
+        bandwidth keeps the device saturated across following seconds.
+        """
+        self._roll_tick()
+        pending = self._backlog_kb + self._pending_tick_kb()
+        return min(pending / self._bandwidth, 1.0)
+
+    @property
+    def backlog_kb(self) -> float:
+        """Background work carried over from previous seconds."""
+        return self._backlog_kb
+
+    def tick_temp_space_kb(self) -> float:
+        """Peak transient compaction space recorded this second."""
+        self._roll_tick()
+        return self._tick.temp_space_kb

@@ -1,0 +1,7 @@
+"""Existing solutions the paper compares against (Section I-A)."""
+
+from repro.variants.hbase import HBaseStyleStore
+from repro.variants.kv_store import KVCachedBLSM
+from repro.variants.warmup import WarmupBLSMTree
+
+__all__ = ["HBaseStyleStore", "KVCachedBLSM", "WarmupBLSMTree"]

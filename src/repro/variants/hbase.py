@@ -1,0 +1,162 @@
+"""An HBase-style store: minor compactions online, major compactions rare.
+
+Section VII: "In HBase, [partial runtime compaction] is called minor
+compaction, while [full idle-time compaction] is called major compaction.
+However, disabling major compaction during run time mainly reduces the
+compaction of old data ... this approach cannot avoid the interference
+from compactions to buffer caching.  In practice, HBase still suffers low
+read performance during intensive writes."
+
+The model here is a single column-family store:
+
+* a memtable flush appends one new HFile (sorted table) to the store;
+* when the store holds more than ``max_store_files`` tables, a **minor
+  compaction** merges the cheapest *contiguous-by-age* window of
+  ``minor_merge_files`` tables into one (tombstones and old versions are
+  kept — only a major compaction may drop them, since an older version
+  could hide in a table outside the window);
+* every ``major_interval_s`` virtual seconds a **major compaction**
+  merges the whole store into one table, dropping obsolete versions and
+  tombstones.
+
+Minor compactions still rewrite recently-written (hot) data at new disk
+locations, which is exactly why the paper's related-work section says the
+approach does not solve the cache-invalidation problem — the
+``hbase_interference`` benchmark measures it.
+"""
+
+from __future__ import annotations
+
+from repro.lsm.base import GetResult, LSMEngine, ReadCost, ScanResult
+from repro.sstable.entry import Entry
+from repro.sstable.iterator import merge_entries, merge_with_obsolete_count
+from repro.sstable.sorted_table import SortedTable
+
+
+class HBaseStyleStore(LSMEngine):
+    """Flat store with size-tiered minor and scheduled major compactions."""
+
+    name = "hbase"
+
+    def __init__(
+        self,
+        config,
+        clock,
+        disk,
+        db_cache=None,
+        os_cache=None,
+        max_store_files: int = 6,
+        minor_merge_files: int = 3,
+        major_interval_s: int | None = 5_000,
+    ) -> None:
+        super().__init__(config, clock, disk, db_cache, os_cache)
+        if minor_merge_files < 2:
+            raise ValueError("minor compactions must merge at least 2 files")
+        #: Sorted tables, oldest first (newest flushed last).
+        self.tables: list[SortedTable] = []
+        self.max_store_files = max_store_files
+        self.minor_merge_files = minor_merge_files
+        #: ``None`` disables major compactions entirely (the configuration
+        #: the paper's related-work discussion warns about).
+        self.major_interval_s = major_interval_s
+        self._last_major_s = 0
+        self.minor_compactions = 0
+        self.major_compactions = 0
+
+    # ------------------------------------------------------------------
+    # Compactions.
+    # ------------------------------------------------------------------
+    def run_compactions(self) -> None:
+        if self.memtable.size_kb >= self.config.level0_size_kb:
+            files = self._flush_memtable_to_files()
+            self.tables.append(SortedTable(files))
+        while len(self.tables) > self.max_store_files:
+            self._minor_compaction()
+
+    def tick(self, now: int) -> None:
+        super().tick(now)
+        if (
+            self.major_interval_s is not None
+            and now - self._last_major_s >= self.major_interval_s
+            and len(self.tables) > 1
+        ):
+            self._last_major_s = now
+            self._major_compaction()
+
+    def _minor_compaction(self) -> None:
+        """Merge the cheapest contiguous-by-age window of tables."""
+        window = self.minor_merge_files
+        start = min(
+            range(len(self.tables) - window + 1),
+            key=lambda i: sum(t.size_kb for t in self.tables[i : i + window]),
+        )
+        merged_table = self._merge_tables(
+            self.tables[start : start + window], drop_obsolete=False
+        )
+        self.tables[start : start + window] = [merged_table]
+        self.minor_compactions += 1
+
+    def _major_compaction(self) -> None:
+        """Merge the whole store, dropping old versions and tombstones."""
+        merged_table = self._merge_tables(self.tables, drop_obsolete=True)
+        self.tables = [merged_table]
+        self.major_compactions += 1
+
+    def _merge_tables(
+        self, tables: list[SortedTable], drop_obsolete: bool
+    ) -> SortedTable:
+        input_files = [f for table in tables for f in table.files]
+        sources = [list(f.entries()) for f in input_files]
+        merged, obsolete = merge_with_obsolete_count(
+            sources, drop_tombstones=drop_obsolete
+        )
+        self._charge_compaction_read(input_files)
+        new_files = self.builder.build(iter(merged))
+        self._on_compaction_output(new_files)
+        self.disk.note_temp_space(float(sum(f.size_kb for f in input_files)))
+        for file in input_files:
+            self._discard_file(file)
+        self.stats.compactions += 1
+        self.stats.compaction_read_kb += sum(f.size_kb for f in input_files)
+        self.stats.compaction_write_kb += sum(f.size_kb for f in new_files)
+        self.stats.obsolete_entries_dropped += obsolete if drop_obsolete else 0
+        return SortedTable(new_files)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> GetResult:
+        self._check_open()
+        self.stats.gets += 1
+        cost = ReadCost()
+        cost.memtable_probes += 1
+        entry = self.memtable.get(key)
+        if entry is not None:
+            return self._make_entry_result(entry, cost)
+        for table in reversed(self.tables):  # Newest first.
+            entry = self._search_table(table, key, cost)
+            if entry is not None:
+                return self._make_entry_result(entry, cost)
+        return GetResult(False, None, cost)
+
+    def scan(self, low: int, high: int) -> ScanResult:
+        self._check_open()
+        self.stats.scans += 1
+        cost = ReadCost()
+        sources: list[list[Entry]] = [self.memtable.entries_in_range(low, high)]
+        for table in self.tables:
+            overlapping = table.files_overlapping(low, high)
+            if not overlapping:
+                continue
+            cost.tables_checked += 1
+            sources.extend(self._scan_table_files(overlapping, low, high, cost))
+        entries = [e for e in merge_entries(sources) if not e.is_tombstone]  # type: ignore[arg-type]
+        return ScanResult(entries, cost)
+
+    # ------------------------------------------------------------------
+    # Bulk loading.
+    # ------------------------------------------------------------------
+    def bulk_load(self, entries: list[Entry]) -> None:
+        files = self.builder.build(iter(entries))
+        self.tables.insert(0, SortedTable(files))  # Oldest position.
+        self._seq = max(self._seq, max((e.seq for e in entries), default=0))

@@ -1,0 +1,35 @@
+"""Workload generation: YCSB distributions and the paper's RangeHot."""
+
+from repro.workload.distributions import (
+    ExponentialSizeChooser,
+    HotspotChooser,
+    KeyChooser,
+    LatestChooser,
+    ScrambledZipfianChooser,
+    SequentialChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from repro.workload.ycsb import (
+    Operation,
+    OpKind,
+    RangeHotWorkload,
+    YCSBWorkload,
+    ycsb_core_workload,
+)
+
+__all__ = [
+    "ExponentialSizeChooser",
+    "HotspotChooser",
+    "KeyChooser",
+    "LatestChooser",
+    "Operation",
+    "OpKind",
+    "RangeHotWorkload",
+    "ScrambledZipfianChooser",
+    "SequentialChooser",
+    "UniformChooser",
+    "YCSBWorkload",
+    "ZipfianChooser",
+    "ycsb_core_workload",
+]

@@ -1,0 +1,188 @@
+"""YCSB-style workload templates, including the paper's RangeHot.
+
+Section VI-B: "We have built the RangeHot workload, which characterizes
+requests with strong spatial locality, i.e., a large portion of reads is
+concentrated in a hot range.  In our test, 3GB continuous data range is
+set as the hot range, and 98% of the reads requests lie in this range."
+Writes are uniform over the whole (20 GB) unique key space.
+
+:class:`RangeHotWorkload` generates exactly that, parameterized by the
+scaled :class:`~repro.config.SystemConfig`; the standard YCSB core
+workloads A-F are provided for the example applications.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.config import SystemConfig
+from repro.errors import WorkloadError
+from repro.workload.distributions import (
+    ExponentialSizeChooser,
+    KeyChooser,
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+
+
+class OpKind(Enum):
+    """YCSB operation types."""
+
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    READ_MODIFY_WRITE = "rmw"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One generated client operation."""
+
+    kind: OpKind
+    key: int
+    scan_length: int = 0
+
+
+class RangeHotWorkload:
+    """The paper's mixed read/write workload (Section VI-B).
+
+    * writes: uniform over the whole unique key space;
+    * point reads: ``hot_read_fraction`` (98%) uniform inside a contiguous
+      hot range covering ``hot_range_fraction`` (15%) of the key space,
+      the rest uniform over everything;
+    * range reads: same key choice for the scan start, fixed scan length
+      of ``scan_length_pairs`` (the paper's 100 KB).
+
+    The hot range is placed mid-key-space so that range scans starting
+    inside it never run off the end of the data set.
+    """
+
+    def __init__(self, config: SystemConfig, hot_start: int | None = None) -> None:
+        self.config = config
+        self.num_keys = config.unique_keys
+        self.hot_size = max(1, config.hot_range_pairs)
+        if hot_start is None:
+            hot_start = (self.num_keys - self.hot_size) // 4
+        if hot_start + self.hot_size > self.num_keys:
+            raise WorkloadError("hot range exceeds the key space")
+        self.hot_start = hot_start
+        self.hot_read_fraction = config.hot_read_fraction
+        self.scan_length = config.scan_length_pairs
+
+    # ------------------------------------------------------------------
+    # Key choices.
+    # ------------------------------------------------------------------
+    def next_write_key(self, rng: random.Random) -> int:
+        return rng.randrange(self.num_keys)
+
+    def next_read_key(self, rng: random.Random) -> int:
+        if rng.random() < self.hot_read_fraction:
+            return self.hot_start + rng.randrange(self.hot_size)
+        return rng.randrange(self.num_keys)
+
+    def next_scan_range(self, rng: random.Random) -> tuple[int, int]:
+        """Inclusive key bounds of one range query."""
+        start = self.next_read_key(rng)
+        start = min(start, self.num_keys - self.scan_length)
+        return start, start + self.scan_length - 1
+
+    def in_hot_range(self, key: int) -> bool:
+        return self.hot_start <= key < self.hot_start + self.hot_size
+
+
+class YCSBWorkload:
+    """A YCSB core-style operation mix over ``num_keys`` records."""
+
+    def __init__(
+        self,
+        num_keys: int,
+        read_proportion: float = 0.0,
+        update_proportion: float = 0.0,
+        insert_proportion: float = 0.0,
+        scan_proportion: float = 0.0,
+        rmw_proportion: float = 0.0,
+        request_distribution: str = "zipfian",
+        max_scan_length: int = 100,
+    ) -> None:
+        total = (
+            read_proportion
+            + update_proportion
+            + insert_proportion
+            + scan_proportion
+            + rmw_proportion
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"operation proportions sum to {total}, not 1")
+        self.num_keys = num_keys
+        self._insert_cursor = num_keys
+        self._thresholds = [
+            read_proportion,
+            read_proportion + update_proportion,
+            read_proportion + update_proportion + insert_proportion,
+            read_proportion + update_proportion + insert_proportion
+            + scan_proportion,
+        ]
+        self._chooser = self._make_chooser(request_distribution, num_keys)
+        self._scan_lengths = ExponentialSizeChooser(
+            mean=max_scan_length / 2, cap=max_scan_length
+        )
+
+    @staticmethod
+    def _make_chooser(name: str, num_keys: int) -> KeyChooser:
+        if name == "uniform":
+            return UniformChooser(0, num_keys)
+        if name == "zipfian":
+            return ScrambledZipfianChooser(num_keys)
+        if name == "zipfian_clustered":
+            return ZipfianChooser(num_keys)
+        if name == "latest":
+            return LatestChooser(num_keys)
+        raise WorkloadError(f"unknown request distribution: {name}")
+
+    def next_operation(self, rng: random.Random) -> Operation:
+        roll = rng.random()
+        if isinstance(self._chooser, LatestChooser):
+            self._chooser.advance(self._insert_cursor)
+        key = self._chooser.next_key(rng) % max(1, self._insert_cursor)
+        if roll < self._thresholds[0]:
+            return Operation(OpKind.READ, key)
+        if roll < self._thresholds[1]:
+            return Operation(OpKind.UPDATE, key)
+        if roll < self._thresholds[2]:
+            key = self._insert_cursor
+            self._insert_cursor += 1
+            return Operation(OpKind.INSERT, key)
+        if roll < self._thresholds[3]:
+            return Operation(
+                OpKind.SCAN, key, self._scan_lengths.next_length(rng)
+            )
+        return Operation(OpKind.READ_MODIFY_WRITE, key)
+
+
+def ycsb_core_workload(name: str, num_keys: int) -> YCSBWorkload:
+    """The standard YCSB core workloads A-F."""
+    presets = {
+        "A": dict(read_proportion=0.5, update_proportion=0.5),
+        "B": dict(read_proportion=0.95, update_proportion=0.05),
+        "C": dict(read_proportion=1.0),
+        "D": dict(
+            read_proportion=0.95,
+            insert_proportion=0.05,
+            request_distribution="latest",
+        ),
+        "E": dict(
+            scan_proportion=0.95,
+            insert_proportion=0.05,
+        ),
+        "F": dict(read_proportion=0.5, rmw_proportion=0.5),
+    }
+    try:
+        preset = presets[name.upper()]
+    except KeyError:
+        raise WorkloadError(f"unknown YCSB core workload: {name!r}") from None
+    return YCSBWorkload(num_keys, **preset)  # type: ignore[arg-type]

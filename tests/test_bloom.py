@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.bloom`."""
+
+import random
+
+import pytest
+
+from repro.bloom import BloomFilter, fnv1a_64, hash_pair, splitmix64
+
+
+class TestHashing:
+    def test_fnv_is_deterministic(self):
+        assert fnv1a_64(b"abc") == fnv1a_64(b"abc")
+
+    def test_fnv_differs_across_inputs(self):
+        assert fnv1a_64(b"abc") != fnv1a_64(b"abd")
+
+    def test_splitmix_is_a_permutation_sample(self):
+        values = {splitmix64(i) for i in range(10_000)}
+        assert len(values) == 10_000
+
+    def test_hash_pair_deterministic_across_calls(self):
+        assert hash_pair(12345) == hash_pair(12345)
+
+    def test_hash_pair_handles_negative_keys(self):
+        h1, h2 = hash_pair(-7)
+        assert 0 <= h1 < 2**32
+        assert 0 <= h2 < 2**32
+
+    def test_hash_pair_components_differ(self):
+        h1, h2 = hash_pair(99)
+        assert h1 != h2
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = list(range(0, 5000, 3))
+        bloom = BloomFilter.build(keys, bits_per_key=15)
+        assert all(bloom.may_contain(k) for k in keys)
+
+    def test_false_positive_rate_near_theory(self):
+        rng = random.Random(42)
+        keys = rng.sample(range(10**9), 4000)
+        bloom = BloomFilter.build(keys, bits_per_key=15)
+        key_set = set(keys)
+        probes = [k for k in rng.sample(range(10**9), 20_000) if k not in key_set]
+        fp = sum(bloom.may_contain(k) for k in probes) / len(probes)
+        theory = bloom.theoretical_fp_rate()
+        # 15 bits/key gives ~0.1%; allow generous sampling noise.
+        assert fp < 10 * max(theory, 1e-4)
+
+    def test_false_positives_exist_with_tiny_budget(self):
+        """A 1-bit/key filter must actually produce false positives —
+        the engines rely on paying for them."""
+        keys = list(range(2000))
+        bloom = BloomFilter.build(keys, bits_per_key=1)
+        fp = sum(bloom.may_contain(k) for k in range(10_000, 30_000))
+        assert fp > 0
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(expected_keys=0, bits_per_key=15)
+        assert not bloom.may_contain(1)
+
+    def test_num_hashes_near_optimal(self):
+        bloom = BloomFilter(100, bits_per_key=15)
+        assert bloom.num_hashes == 10  # round(ln2 * 15)
+
+    def test_counts(self):
+        bloom = BloomFilter(10, bits_per_key=8)
+        bloom.add(1)
+        bloom.add(2)
+        assert bloom.num_keys == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(-1, 15)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 0)
+
+    def test_theoretical_rate_zero_when_empty(self):
+        assert BloomFilter(10, 15).theoretical_fp_rate() == 0.0

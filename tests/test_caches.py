@@ -1,0 +1,228 @@
+"""Unit tests for :mod:`repro.cache` — DB, OS and K-V caches, policies."""
+
+import pytest
+
+from repro.cache.db_cache import DBBufferCache
+from repro.cache.kv_cache import KVStoreCache
+from repro.cache.os_cache import OSBufferCache
+from repro.cache.policy import ClockPolicy, LRUPolicy
+from repro.cache.stats import CacheStats
+
+
+class TestLRUPolicy:
+    def test_evicts_least_recent(self):
+        lru = LRUPolicy()
+        for key in "abc":
+            lru.insert(key)
+        lru.touch("a")
+        assert lru.evict() == "b"
+
+    def test_double_insert_rejected(self):
+        lru = LRUPolicy()
+        lru.insert("a")
+        with pytest.raises(KeyError):
+            lru.insert("a")
+
+    def test_remove_is_not_eviction(self):
+        lru = LRUPolicy()
+        lru.insert("a")
+        lru.insert("b")
+        lru.remove("a")
+        assert "a" not in lru
+        assert len(lru) == 1
+
+
+class TestClockPolicy:
+    def test_second_chance(self):
+        clock = ClockPolicy()
+        for key in "abc":
+            clock.insert(key)
+        clock.touch("a")  # Referenced: survives one sweep.
+        assert clock.evict() == "b"
+        assert "a" in clock
+
+    def test_unreferenced_evicted_in_order(self):
+        clock = ClockPolicy()
+        for key in "ab":
+            clock.insert(key)
+        assert clock.evict() == "a"
+
+
+class TestCacheStats:
+    def test_hit_ratio(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.hit_ratio == 0.75
+
+    def test_hit_ratio_empty(self):
+        assert CacheStats().hit_ratio == 0.0
+
+    def test_interval_hit_ratio(self):
+        earlier = CacheStats(hits=10, misses=10)
+        later = CacheStats(hits=19, misses=11)
+        assert later.interval_hit_ratio(earlier) == 0.9
+
+    def test_interval_with_no_new_accesses(self):
+        stats = CacheStats(hits=5, misses=5)
+        assert stats.interval_hit_ratio(stats.snapshot()) == 0.0
+
+
+class TestDBBufferCache:
+    def test_miss_then_hit(self):
+        cache = DBBufferCache(4)
+        assert cache.access(1, 0) is False
+        assert cache.access(1, 0) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_at_capacity(self):
+        cache = DBBufferCache(2)
+        cache.access(1, 0)
+        cache.access(1, 1)
+        cache.access(1, 0)  # Refresh block 0.
+        cache.access(2, 0)  # Evicts (1, 1).
+        assert cache.contains(1, 0)
+        assert not cache.contains(1, 1)
+        assert cache.stats.evictions == 1
+
+    def test_per_file_counter_tracks_inserts_and_evictions(self):
+        cache = DBBufferCache(2)
+        cache.access(7, 0)
+        cache.access(7, 1)
+        assert cache.cached_blocks(7) == 2
+        cache.access(8, 0)  # Evicts one block of file 7.
+        assert cache.cached_blocks(7) == 1
+        assert cache.cached_blocks(8) == 1
+
+    def test_invalidate_file_drops_all_blocks(self):
+        cache = DBBufferCache(8)
+        for block in range(3):
+            cache.access(5, block)
+        cache.access(6, 0)
+        dropped = cache.invalidate_file(5)
+        assert dropped == 3
+        assert cache.cached_blocks(5) == 0
+        assert cache.contains(6, 0)
+        assert cache.stats.invalidations == 3
+        assert len(cache) == 1
+
+    def test_invalidate_absent_file_is_noop(self):
+        cache = DBBufferCache(4)
+        assert cache.invalidate_file(99) == 0
+
+    def test_insert_without_access_counts_no_hit(self):
+        cache = DBBufferCache(4)
+        cache.insert(1, 0)
+        assert cache.stats.accesses == 0
+        assert cache.contains(1, 0)
+
+    def test_insert_existing_refreshes(self):
+        cache = DBBufferCache(2)
+        cache.insert(1, 0)
+        cache.insert(1, 1)
+        cache.insert(1, 0)  # Refresh, no growth.
+        cache.insert(2, 0)  # Evicts (1, 1).
+        assert cache.contains(1, 0)
+
+    def test_eviction_hook_fires(self):
+        cache = DBBufferCache(1)
+        evicted = []
+        cache.eviction_hook = lambda f, b: evicted.append((f, b))
+        cache.access(1, 0)
+        cache.access(2, 0)
+        assert evicted == [(1, 0)]
+
+    def test_usage(self):
+        cache = DBBufferCache(4)
+        cache.access(1, 0)
+        assert cache.usage == 0.25
+
+    def test_resident_blocks_view(self):
+        cache = DBBufferCache(4)
+        cache.access(3, 1)
+        cache.access(3, 2)
+        assert cache.resident_blocks(3) == frozenset({1, 2})
+
+    def test_clear(self):
+        cache = DBBufferCache(4)
+        cache.access(1, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.cached_blocks(1) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DBBufferCache(0)
+
+
+class TestOSBufferCache:
+    def test_query_reads_counted(self):
+        cache = OSBufferCache(4, page_size_kb=4)
+        assert cache.read(0) is False
+        assert cache.read(3) is True  # Same 4 KB page.
+        assert cache.read(4) is False  # Next page.
+
+    def test_compaction_reads_pollute_but_are_not_counted(self):
+        cache = OSBufferCache(4, page_size_kb=4)
+        cache.read_for_compaction(0, 16)  # Fills all 4 pages.
+        assert len(cache) == 4
+        assert cache.stats.accesses == 0
+        assert cache.read(0) is True  # Pre-fetched by compaction.
+
+    def test_compaction_stream_evicts_query_pages(self):
+        """The Fig. 2 mechanism: compaction traffic causes capacity
+        misses for query data."""
+        cache = OSBufferCache(4, page_size_kb=4)
+        cache.read(0)  # Hot query page.
+        cache.read_for_compaction(100, 64)  # 16 pages stream through.
+        assert cache.read(0) is False  # Evicted by the stream.
+
+    def test_write_allocate_behaves_like_compaction_read(self):
+        cache = OSBufferCache(8, page_size_kb=4)
+        cache.write_allocate(0, 8)
+        assert len(cache) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OSBufferCache(0)
+        with pytest.raises(ValueError):
+            OSBufferCache(4, page_size_kb=0)
+
+
+class TestKVStoreCache:
+    def test_get_put_roundtrip(self):
+        cache = KVStoreCache(4)
+        assert cache.get(1) == (False, None)
+        cache.put(1, "v1")
+        assert cache.get(1) == (True, "v1")
+
+    def test_lru_eviction(self):
+        cache = KVStoreCache(2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.get(1)
+        cache.put(3, "c")  # Evicts key 2.
+        assert cache.get(2) == (False, None)
+        assert cache.get(1)[0]
+
+    def test_put_refreshes_value(self):
+        cache = KVStoreCache(2)
+        cache.put(1, "old")
+        cache.put(1, "new")
+        assert cache.get(1) == (True, "new")
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = KVStoreCache(2)
+        cache.put(1, "a")
+        assert cache.invalidate(1) is True
+        assert cache.invalidate(1) is False
+        assert cache.get(1) == (False, None)
+
+    def test_usage(self):
+        cache = KVStoreCache(4)
+        cache.put(1, "a")
+        assert cache.usage == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KVStoreCache(0)

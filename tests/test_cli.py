@@ -1,0 +1,95 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_engines_command(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "lsbm" in out and "blsm" in out and "hbase" in out
+
+    def test_run_requires_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_engine_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--engine", "nope"])
+
+
+class TestRunCommand:
+    def test_run_prints_summary_and_series(self, capsys):
+        code = main(
+            [
+                "run",
+                "--engine",
+                "lsbm",
+                "--scale",
+                "8192",
+                "--duration",
+                "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit" in out and "p99 ms" in out
+        assert "throughput (QPS)" in out
+
+    def test_run_writes_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "series.csv"
+        code = main(
+            [
+                "run",
+                "--engine",
+                "blsm",
+                "--scale",
+                "8192",
+                "--duration",
+                "200",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("time_s,throughput_qps,hit_ratio")
+        assert len(lines) == 201  # Header + one row per virtual second.
+
+    def test_scan_mode(self, capsys):
+        code = main(
+            [
+                "run",
+                "--engine",
+                "sm",
+                "--scale",
+                "8192",
+                "--duration",
+                "200",
+                "--scan",
+            ]
+        )
+        assert code == 0
+
+
+class TestCompareCommand:
+    def test_compare_two_engines(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--engines",
+                "blsm,lsbm",
+                "--scale",
+                "8192",
+                "--duration",
+                "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "blsm" in out and "lsbm" in out
+
+    def test_compare_rejects_unknown(self, capsys):
+        assert main(["compare", "--engines", "blsm,bogus"]) == 2

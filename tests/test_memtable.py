@@ -1,0 +1,60 @@
+"""Unit tests for :mod:`repro.lsm.memtable`."""
+
+from repro.lsm.memtable import Memtable
+from repro.sstable.entry import Kind
+
+
+class TestMemtable:
+    def test_put_get(self):
+        mem = Memtable(pair_size_kb=1)
+        mem.put(5, seq=1)
+        entry = mem.get(5)
+        assert entry is not None and entry.seq == 1
+
+    def test_overwrite_keeps_newest_and_size_constant(self):
+        mem = Memtable(pair_size_kb=1)
+        mem.put(5, seq=1)
+        mem.put(5, seq=2)
+        assert mem.get(5).seq == 2
+        assert len(mem) == 1
+        assert mem.size_kb == 1
+
+    def test_delete_records_tombstone(self):
+        mem = Memtable(pair_size_kb=1)
+        mem.put(5, seq=1)
+        mem.delete(5, seq=2)
+        entry = mem.get(5)
+        assert entry.kind == Kind.DELETE
+        assert entry.is_tombstone
+
+    def test_sorted_entries(self):
+        mem = Memtable(pair_size_kb=1)
+        for key, seq in ((9, 1), (3, 2), (7, 3)):
+            mem.put(key, seq)
+        assert [e.key for e in mem.sorted_entries()] == [3, 7, 9]
+
+    def test_entries_in_range(self):
+        mem = Memtable(pair_size_kb=1)
+        for key in (1, 5, 9, 13):
+            mem.put(key, seq=key)
+        assert [e.key for e in mem.entries_in_range(5, 9)] == [5, 9]
+        assert mem.entries_in_range(2, 4) == []
+
+    def test_size_respects_pair_size(self):
+        mem = Memtable(pair_size_kb=4)
+        mem.put(1, 1)
+        mem.put(2, 2)
+        assert mem.size_kb == 8
+
+    def test_clear(self):
+        mem = Memtable(pair_size_kb=1)
+        mem.put(1, 1)
+        mem.clear()
+        assert not mem
+        assert len(mem) == 0
+
+    def test_iteration_is_sorted(self):
+        mem = Memtable(pair_size_kb=1)
+        for key in (4, 2, 8):
+            mem.put(key, seq=key)
+        assert [e.key for e in mem] == [2, 4, 8]

@@ -1,0 +1,58 @@
+"""Additional tests for the reporting helpers and package wiring."""
+
+import pytest
+
+import repro
+from repro.sim.experiment import ENGINE_NAMES, build_engine
+from repro.sim.metrics import TimeSeries
+from repro.sim.report import ascii_table, format_ratio, sparkline
+
+
+class TestAsciiTable:
+    def test_empty_rows(self):
+        table = ascii_table(["a", "b"], [])
+        assert "a" in table and "-" in table
+
+    def test_mixed_types_stringified(self):
+        table = ascii_table(["x"], [[1], [2.5], ["s"]])
+        assert "2.5" in table
+
+    def test_column_width_from_widest_cell(self):
+        table = ascii_table(["x"], [["wiiiiiiide"]])
+        header_line = table.splitlines()[0]
+        assert len(header_line) >= len("wiiiiiiide")
+
+
+class TestSparkline:
+    def test_constant_series_renders(self):
+        series = TimeSeries("x")
+        for t in range(10):
+            series.add(t, 5.0)
+        line = sparkline(series, buckets=10)
+        assert len(line) == 10
+
+    def test_explicit_bounds(self):
+        series = TimeSeries("x")
+        for t in range(10):
+            series.add(t, 0.5)
+        pinned = sparkline(series, buckets=10, lo=0.0, hi=1.0)
+        assert len(set(pinned)) == 1  # Mid-scale glyph everywhere.
+
+    def test_format_ratio(self):
+        assert format_ratio(0.9534) == "0.953"
+
+
+class TestPackageWiring:
+    def test_public_api_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_every_registered_engine_builds(self, name):
+        setup = build_engine(name, repro.SystemConfig.tiny())
+        assert setup.engine is not None
+        # Every stack provides a disk; cache wiring varies by variant.
+        assert setup.disk is not None
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,176 @@
+"""Unit tests for :mod:`repro.storage` (extents, disk, cost model)."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.config import SystemConfig
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.extent import ExtentAllocator
+from repro.storage.iomodel import IOCostModel
+
+
+class TestExtentAllocator:
+    def test_allocation_is_monotonic(self):
+        alloc = ExtentAllocator()
+        first = alloc.allocate(10)
+        second = alloc.allocate(5)
+        assert second.start >= first.end
+
+    def test_freed_addresses_never_reused(self):
+        """New data never lands where old data was — the property that
+        makes compaction-induced invalidation observable."""
+        alloc = ExtentAllocator()
+        old = alloc.allocate(10)
+        alloc.free(old)
+        new = alloc.allocate(10)
+        assert new.start >= old.end
+
+    def test_live_kb_tracks_allocations_and_frees(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(10)
+        b = alloc.allocate(20)
+        assert alloc.live_kb == 30
+        alloc.free(a)
+        assert alloc.live_kb == 20
+        alloc.free(b)
+        assert alloc.live_kb == 0
+
+    def test_double_free_rejected(self):
+        alloc = ExtentAllocator()
+        extent = alloc.allocate(4)
+        alloc.free(extent)
+        with pytest.raises(StorageError):
+            alloc.free(extent)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(StorageError):
+            ExtentAllocator().allocate(0)
+
+    def test_is_live(self):
+        alloc = ExtentAllocator()
+        extent = alloc.allocate(4)
+        assert alloc.is_live(extent)
+        alloc.free(extent)
+        assert not alloc.is_live(extent)
+
+    def test_cumulative_counters(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(8)
+        alloc.allocate(8)
+        alloc.free(a)
+        assert alloc.allocated_kb_total == 16
+        assert alloc.freed_kb_total == 8
+        assert alloc.live_extents == 1
+
+
+class TestSimulatedDisk:
+    def test_live_kb_is_database_size(self, clock):
+        disk = SimulatedDisk(clock, 1000.0)
+        extent = disk.allocate(100)
+        assert disk.live_kb == 100
+        disk.free(extent)
+        assert disk.live_kb == 0
+
+    def test_background_io_raises_utilization(self, clock):
+        disk = SimulatedDisk(clock, 1000.0)
+        assert disk.utilization() == 0.0
+        disk.background_read(500.0)  # Half a second of transfer.
+        assert disk.utilization() >= 0.5
+
+    def test_utilization_resets_each_tick(self, clock):
+        disk = SimulatedDisk(clock, 1000.0)
+        disk.background_write(900.0)
+        assert disk.utilization() > 0.8
+        clock.advance(1)
+        assert disk.utilization() == 0.0
+
+    def test_utilization_capped_at_one(self, clock):
+        disk = SimulatedDisk(clock, 1000.0)
+        disk.background_read(1_000_000.0)
+        assert disk.utilization() == 1.0
+
+    def test_temp_space_is_per_tick(self, clock):
+        disk = SimulatedDisk(clock, 1000.0)
+        disk.note_temp_space(50.0)
+        disk.note_temp_space(30.0)  # Peak, not sum.
+        assert disk.tick_temp_space_kb() == 50.0
+        clock.advance(1)
+        assert disk.tick_temp_space_kb() == 0.0
+
+    def test_stats_split_reads_and_writes(self, clock):
+        disk = SimulatedDisk(clock, 1000.0)
+        disk.background_read(10.0)
+        disk.background_write(20.0)
+        disk.foreground_random_read(3)
+        disk.foreground_sequential_read(8.0)
+        assert disk.stats.seq_read_kb == 18.0
+        assert disk.stats.seq_write_kb == 20.0
+        assert disk.stats.random_read_blocks == 3
+
+    def test_negative_io_rejected(self, clock):
+        disk = SimulatedDisk(clock, 1000.0)
+        with pytest.raises(StorageError):
+            disk.background_read(-1.0)
+
+    def test_zero_bandwidth_rejected(self, clock):
+        with pytest.raises(StorageError):
+            SimulatedDisk(clock, 0.0)
+
+
+class TestIOCostModel:
+    @pytest.fixture
+    def model(self):
+        return IOCostModel(SystemConfig.tiny())
+
+    def test_random_read_linear_in_blocks(self, model):
+        one = model.random_read_s(1)
+        assert model.random_read_s(4) == pytest.approx(4 * one)
+
+    def test_sequential_includes_seek_and_transfer(self, model):
+        config = model.config
+        cost = model.sequential_s(config.seq_bandwidth_kb_per_s, seeks=1)
+        assert cost == pytest.approx(1.0 + config.seek_s)
+
+    def test_random_read_much_slower_per_kb_than_sequential(self):
+        """The HDD asymmetry every LSM design decision rests on (at the
+        paper's real-hardware constants)."""
+        model = IOCostModel(SystemConfig.paper())
+        random_per_kb = model.random_read_s(1) / model.config.block_size_kb
+        seq_per_kb = model.sequential_s(1024.0, seeks=0) / 1024.0
+        assert random_per_kb > 100 * seq_per_kb
+
+    def test_contention_inflates_cost(self, model):
+        idle = model.random_read_s(1, utilization=0.0)
+        busy = model.random_read_s(1, utilization=0.5)
+        assert busy == pytest.approx(2 * idle)
+
+    def test_contention_is_clamped(self, model):
+        assert model.random_read_s(1, utilization=5.0) < float("inf")
+        assert model.random_read_s(1, utilization=0.99) == model.random_read_s(
+            1, utilization=0.95
+        )
+
+    def test_zero_work_costs_nothing(self, model):
+        assert model.random_read_s(0) == 0.0
+        assert model.sequential_s(0.0, seeks=0) == 0.0
+        assert model.bloom_probe_s(0) == 0.0
+
+    def test_cache_hit_cost(self, model):
+        assert model.cache_hit_s(2) == pytest.approx(
+            2 * model.config.cache_hit_s
+        )
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(5) == 5
+        assert clock.now == 5
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)

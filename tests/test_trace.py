@@ -1,0 +1,113 @@
+"""Unit tests for trace recording and replay."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.trace import (
+    TraceOp,
+    TraceRecorder,
+    load_trace,
+    parse_line,
+    replay_trace,
+    save_trace,
+)
+
+from .conftest import make_engine
+
+
+class TestParsing:
+    def test_parse_all_ops(self):
+        assert parse_line("put 5") == TraceOp("put", 5)
+        assert parse_line("get 7") == TraceOp("get", 7)
+        assert parse_line("del 9") == TraceOp("del", 9)
+        assert parse_line("scan 10 50") == TraceOp("scan", 10, 50)
+        assert parse_line("tick") == TraceOp("tick")
+
+    def test_blank_and_comment_lines(self):
+        assert parse_line("") is None
+        assert parse_line("   # just a comment") is None
+        assert parse_line("put 5 # trailing comment") == TraceOp("put", 5)
+
+    def test_case_insensitive_op(self):
+        assert parse_line("PUT 5") == TraceOp("put", 5)
+
+    @pytest.mark.parametrize(
+        "bad", ["put", "scan 5", "frobnicate 1", "put x"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises((WorkloadError, ValueError)):
+            parse_line(bad)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.put(1)
+        recorder.get(2)
+        recorder.delete(3)
+        recorder.scan(4, 10)
+        recorder.tick()
+        path = tmp_path / "ops.trace"
+        save_trace(recorder.ops, path)
+        assert load_trace(path) == recorder.ops
+
+    def test_recorder_length(self):
+        recorder = TraceRecorder()
+        recorder.put(1)
+        recorder.tick()
+        assert len(recorder) == 2
+
+
+class TestReplay:
+    def test_replay_counts_and_effects(self):
+        engine, clock, *_ = make_engine("lsbm")
+        ops = [
+            TraceOp("put", 5),
+            TraceOp("put", 6),
+            TraceOp("get", 5),
+            TraceOp("get", 99),
+            TraceOp("del", 6),
+            TraceOp("get", 6),
+            TraceOp("scan", 0, 10),
+            TraceOp("tick"),
+        ]
+        result = replay_trace(engine, clock, ops)
+        assert result.puts == 2
+        assert result.gets == 3
+        assert result.found == 1  # Only the get of key 5.
+        assert result.deletes == 1
+        assert result.scans == 1
+        assert result.pairs_scanned == 1  # Key 5 survives; 6 deleted.
+        assert result.ticks == 1
+        assert clock.now == 1
+
+    def test_same_trace_same_outcome_across_engines(self, tmp_path):
+        """A trace replayed on two engines yields identical answers —
+        the whole point of archiving traces."""
+        recorder = TraceRecorder()
+        import random
+
+        rng = random.Random(12)
+        for _ in range(600):
+            roll = rng.random()
+            key = rng.randrange(512)
+            if roll < 0.5:
+                recorder.put(key)
+            elif roll < 0.8:
+                recorder.get(key)
+            elif roll < 0.9:
+                recorder.delete(key)
+            else:
+                recorder.scan(key, 20)
+            if rng.random() < 0.05:
+                recorder.tick()
+        path = tmp_path / "mixed.trace"
+        save_trace(recorder.ops, path)
+        ops = load_trace(path)
+
+        outcomes = []
+        for name in ("leveldb", "lsbm"):
+            engine, clock, *_ = make_engine(name)
+            result = replay_trace(engine, clock, ops)
+            outcomes.append((result.found, result.pairs_scanned))
+        assert outcomes[0] == outcomes[1]

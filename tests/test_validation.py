@@ -1,0 +1,103 @@
+"""Tests for the structural integrity checker + its use as a property."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EngineError
+from repro.validation import check_engine
+
+from .conftest import ENGINE_CLASSES, make_engine
+
+
+class TestCheckerCatchesCorruption:
+    def test_healthy_engine_passes(self):
+        engine, clock, *_ = make_engine("lsbm")
+        rng = random.Random(1)
+        for step in range(2000):
+            engine.put(rng.randrange(2048))
+            if step % 40 == 0:
+                clock.advance(1)
+                engine.tick(clock.now)
+        check_engine(engine)  # Must not raise.
+
+    def test_detects_overlapping_run(self):
+        engine, *_ = make_engine("leveldb")
+        rng = random.Random(2)
+        for _ in range(1500):
+            engine.put(rng.randrange(2048))
+        # Corrupt: force two files of the top level to overlap.
+        files = engine.levels[1].files or engine.levels[2].files
+        target_level = engine.levels[1] if engine.levels[1].files else engine.levels[2]
+        if len(files) >= 2:
+            files[1].min_key = files[0].min_key  # Corrupt the metadata.
+            target_level._files[1] = files[1]
+            with pytest.raises(EngineError, match="overlap"):
+                check_engine(engine)
+
+    def test_detects_leaked_extent(self):
+        engine, _, disk, _ = make_engine("blsm")
+        rng = random.Random(3)
+        for _ in range(1500):
+            engine.put(rng.randrange(2048))
+        # Corrupt: free a live file's extent behind the engine's back.
+        victim = next(
+            file
+            for level in range(1, engine.num_levels + 1)
+            for file in engine.c[level].files
+        )
+        disk.free(victim.extent)
+        with pytest.raises(EngineError, match="freed extent"):
+            check_engine(engine)
+
+    def test_detects_frozen_level_with_data(self):
+        engine, clock, *_ = make_engine("lsbm")
+        rng = random.Random(4)
+        for step in range(1500):
+            engine.put(rng.randrange(2048))
+            if step % 40 == 0:
+                clock.advance(1)
+                engine.tick(clock.now)
+        level = next(
+            (lvl for lvl in engine.buffer[1:] if lvl.live_kb > 0), None
+        )
+        if level is not None:
+            level.frozen = True  # Corrupt: freeze without discarding.
+            with pytest.raises(EngineError, match="frozen"):
+                check_engine(engine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(EngineError):
+            check_engine(object())
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "put", "put", "delete"]),
+            st.integers(min_value=0, max_value=1023),
+        ),
+        min_size=20,
+        max_size=400,
+    )
+)
+@pytest.mark.parametrize("engine_name", sorted(ENGINE_CLASSES))
+def test_integrity_holds_under_arbitrary_streams(engine_name, ops):
+    """After any operation stream, every structural invariant holds."""
+    engine, clock, *_ = make_engine(engine_name)
+    for step, (op, key) in enumerate(ops):
+        if op == "put":
+            engine.put(key)
+        else:
+            engine.delete(key)
+        if step % 23 == 0:
+            clock.advance(1)
+            engine.tick(clock.now)
+    check_engine(engine)

@@ -1,0 +1,108 @@
+"""Unit tests for the write-ahead log and crash recovery."""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import EngineError
+from repro.lsm.wal import WriteAheadLog
+from repro.sstable.entry import Kind, value_for
+
+from .conftest import make_engine
+
+
+def wal_config():
+    return SystemConfig.tiny().replace(wal_enabled=True)
+
+
+class TestWriteAheadLog:
+    def test_append_and_replay_order(self, disk):
+        wal = WriteAheadLog(disk, pair_size_kb=1)
+        wal.append(1, 1, Kind.PUT)
+        wal.append(2, 2, Kind.DELETE)
+        records = wal.replay()
+        assert [(r.key, r.seq, r.kind) for r in records] == [
+            (1, 1, Kind.PUT),
+            (2, 2, Kind.DELETE),
+        ]
+
+    def test_truncate_through(self, disk):
+        wal = WriteAheadLog(disk, pair_size_kb=1)
+        for seq in range(1, 6):
+            wal.append(seq, seq, Kind.PUT)
+        dropped = wal.truncate_through(3)
+        assert dropped == 3
+        assert [r.seq for r in wal.replay()] == [4, 5]
+
+    def test_log_charges_disk_writes(self, disk):
+        wal = WriteAheadLog(disk, pair_size_kb=1)
+        before = disk.stats.seq_write_kb
+        wal.append(1, 1, Kind.PUT)
+        assert disk.stats.seq_write_kb == before + 1
+        assert wal.bytes_logged_kb == 1
+
+
+class TestEngineRecovery:
+    @pytest.mark.parametrize("name", ["leveldb", "blsm", "lsbm", "sm"])
+    def test_crash_loses_memtable_without_wal(self, name):
+        engine, *_ = make_engine(name)
+        engine.put(5)
+        assert engine.simulate_crash() == 1
+        assert not engine.get(5).found
+        with pytest.raises(EngineError):
+            engine.recover()
+
+    @pytest.mark.parametrize("name", ["leveldb", "blsm", "lsbm", "sm"])
+    def test_recovery_restores_unflushed_writes(self, name):
+        engine, *_ = make_engine(name, wal_config())
+        seqs = {key: engine.put(key) for key in (3, 1, 4)}
+        engine.delete(1)
+        engine.simulate_crash()
+        replayed = engine.recover()
+        assert replayed == 4
+        assert engine.get(3).value == value_for(3, seqs[3])
+        assert engine.get(4).value == value_for(4, seqs[4])
+        assert not engine.get(1).found
+
+    def test_recovery_after_flush_replays_only_tail(self):
+        engine, *_ = make_engine("lsbm", wal_config())
+        rng = random.Random(1)
+        for _ in range(200):  # Forces flushes (level0 is 64 KB).
+            engine.put(rng.randrange(512))
+        tail = engine.wal.tail_records
+        assert tail < 200  # Flushed records were truncated away.
+        unflushed_key = 10_000
+        seq = engine.put(unflushed_key)
+        engine.simulate_crash()
+        engine.recover()
+        assert engine.get(unflushed_key).value == value_for(unflushed_key, seq)
+
+    def test_recovery_preserves_seq_counter(self):
+        engine, *_ = make_engine("blsm", wal_config())
+        last = 0
+        for key in range(10):
+            last = engine.put(key)
+        engine.simulate_crash()
+        engine.recover()
+        assert engine.put(99) == last + 1
+
+    def test_model_equivalence_across_crashes(self):
+        engine, clock, *_ = make_engine("lsbm", wal_config())
+        rng = random.Random(9)
+        model = {}
+        for step in range(1500):
+            key = rng.randrange(1024)
+            model[key] = engine.put(key)
+            if step % 100 == 99:
+                engine.simulate_crash()
+                engine.recover()
+            if step % 23 == 0:
+                clock.advance(1)
+                engine.tick(clock.now)
+        for key in rng.sample(sorted(model), 150):
+            assert engine.get(key).value == value_for(key, model[key])
+
+    def test_wal_disabled_by_default(self):
+        engine, *_ = make_engine("blsm")
+        assert engine.wal is None

@@ -1,0 +1,110 @@
+"""Unit tests for the generic YCSB operation driver."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.sim.experiment import build_engine, preload
+from repro.sim.ycsb_driver import YCSBDriver
+from repro.workload.ycsb import OpKind, YCSBWorkload, ycsb_core_workload
+
+
+def make_driver(engine_name="lsbm", workload=None, **workload_kwargs):
+    config = SystemConfig.paper_scaled(8192)
+    setup = build_engine(engine_name, config)
+    preload(setup)
+    if workload is None:
+        workload = YCSBWorkload(config.unique_keys, **workload_kwargs)
+    return (
+        YCSBDriver(setup.engine, config, setup.clock, workload, seed=5),
+        setup,
+    )
+
+
+class TestYCSBDriver:
+    def test_read_only_mix_issues_only_reads(self):
+        driver, setup = make_driver(read_proportion=1.0)
+        result = driver.run(100)
+        assert driver.ops_by_kind[OpKind.READ] == result.reads_completed
+        assert setup.engine.stats.puts == 0
+
+    def test_update_mix_writes(self):
+        driver, setup = make_driver(
+            read_proportion=0.5, update_proportion=0.5
+        )
+        driver.run(150)
+        assert setup.engine.stats.puts > 0
+        assert driver.ops_by_kind[OpKind.UPDATE] == setup.engine.stats.puts
+
+    def test_insert_mix_extends_keyspace(self):
+        driver, setup = make_driver(
+            read_proportion=0.5, insert_proportion=0.5
+        )
+        driver.run(150)
+        config = setup.config
+        inserted = driver.ops_by_kind[OpKind.INSERT]
+        assert inserted > 0
+        # The newest inserted key is readable.
+        newest = config.unique_keys + inserted - 1
+        assert setup.engine.get(newest).found
+
+    def test_scan_mix(self):
+        driver, setup = make_driver(scan_proportion=1.0)
+        result = driver.run(100)
+        assert setup.engine.stats.scans == result.reads_completed
+        assert driver.ops_by_kind[OpKind.SCAN] > 0
+
+    def test_rmw_counts_read_and_write(self):
+        driver, setup = make_driver(rmw_proportion=1.0)
+        driver.run(100)
+        rmws = driver.ops_by_kind[OpKind.READ_MODIFY_WRITE]
+        assert rmws > 0
+        assert setup.engine.stats.gets == rmws
+        assert setup.engine.stats.puts == rmws
+
+    def test_metrics_collected(self):
+        driver, _ = make_driver(read_proportion=1.0)
+        result = driver.run(100)
+        assert len(result.throughput_qps) == 100
+        assert len(result.read_latencies_s) == result.reads_completed
+        assert result.latency_percentile_s(50) > 0
+
+    def test_core_workload_b_runs_on_every_engine(self):
+        for name in ("blsm", "lsbm", "sm", "hbase"):
+            config = SystemConfig.paper_scaled(8192)
+            setup = build_engine(name, config)
+            preload(setup)
+            workload = ycsb_core_workload("B", config.unique_keys)
+            driver = YCSBDriver(setup.engine, config, setup.clock, workload)
+            result = driver.run(60)
+            assert result.reads_completed > 0
+
+    def test_client_threads_scale_throughput(self):
+        results = {}
+        for threads in (2, 8):
+            config = SystemConfig.paper_scaled(8192)
+            setup = build_engine("blsm", config)
+            preload(setup)
+            workload = YCSBWorkload(config.unique_keys, read_proportion=1.0)
+            driver = YCSBDriver(
+                setup.engine,
+                config,
+                setup.clock,
+                workload,
+                seed=5,
+                client_threads=threads,
+            )
+            results[threads] = driver.run(150).reads_completed
+        assert results[8] > results[2]
+
+    def test_latency_percentiles_ordered(self):
+        driver, _ = make_driver(read_proportion=1.0)
+        result = driver.run(200)
+        p50 = result.latency_percentile_s(50)
+        p99 = result.latency_percentile_s(99)
+        assert 0 < p50 <= p99
+
+    def test_bad_percentile_rejected(self):
+        driver, _ = make_driver(read_proportion=1.0)
+        result = driver.run(20)
+        with pytest.raises(ValueError):
+            result.latency_percentile_s(150)
