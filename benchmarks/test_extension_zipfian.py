@@ -41,7 +41,7 @@ def _run(engine_name: str, spatial: bool, **config_overrides):
         setup.engine, config, setup.clock, workload=workload, seed=1
     )
     result = driver.run(DURATION)
-    buffer_kb = getattr(setup.engine, "compaction_buffer_kb", 0)
+    buffer_kb = setup.engine.compaction_buffer_kb or 0
     return result, buffer_kb
 
 

@@ -29,6 +29,9 @@ The package layout mirrors the system inventory in DESIGN.md:
   OS/DB/K-V caches;
 * :mod:`repro.workload`, :mod:`repro.sim` — YCSB-style workloads and the
   mixed read/write measurement driver;
+* :mod:`repro.obs`, :mod:`repro.substrate` — the observability core
+  (metrics registry, event bus, JSONL traces) and the typed substrate
+  every engine stack is built from;
 * :mod:`repro.analysis` — the paper's closed-form cost models.
 """
 
@@ -37,9 +40,13 @@ from repro.core.lsbm import LSbMTree
 from repro.lsm.blsm import BLSMTree
 from repro.lsm.leveldb import LevelDBTree
 from repro.lsm.sm_tree import SMTree
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.sim.driver import MixedReadWriteDriver
 from repro.sim.experiment import ENGINE_NAMES, build_engine, preload, run_experiment
 from repro.sim.metrics import RunResult
+from repro.substrate import Substrate
 from repro.variants.kv_store import KVCachedBLSM
 from repro.variants.warmup import WarmupBLSMTree
 from repro.workload.ycsb import RangeHotWorkload
@@ -49,14 +56,18 @@ __version__ = "1.0.0"
 __all__ = [
     "BLSMTree",
     "ENGINE_NAMES",
+    "EventBus",
     "KVCachedBLSM",
     "LSbMTree",
     "LevelDBTree",
+    "MetricsRegistry",
     "MixedReadWriteDriver",
     "RangeHotWorkload",
     "RunResult",
     "SMTree",
+    "Substrate",
     "SystemConfig",
+    "TraceRecorder",
     "WarmupBLSMTree",
     "build_engine",
     "preload",

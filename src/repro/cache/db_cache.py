@@ -20,6 +20,8 @@ from collections.abc import Callable
 
 from repro.cache.policy import LRUPolicy, ReplacementPolicy
 from repro.cache.stats import CacheStats
+from repro.obs.events import CacheInvalidated, EventBus
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 #: A cached block's identity: ``(file_id, block_index)``.
 BlockKey = tuple[int, int]
@@ -48,11 +50,31 @@ class DBBufferCache:
         self._by_file: dict[int, set[int]] = {}
         self._cached_per_file: Counter[int] = Counter()
         self.stats = CacheStats()
+        self.bind_observability(NULL_REGISTRY, None, "db")
         #: Optional hook called as ``hook(file_id, block_index)`` whenever a
         #: block leaves the cache by eviction (not invalidation).  The
         #: incremental-warming-up variant uses it to learn which hot blocks
         #: a compaction is about to displace.
         self.eviction_hook: Callable[[int, int], None] | None = None
+
+    def bind_observability(
+        self,
+        registry: MetricsRegistry,
+        bus: EventBus | None,
+        name: str,
+    ) -> None:
+        """Publish hit/miss counters through ``registry`` and
+        :class:`~repro.obs.events.CacheInvalidated` events on ``bus``.
+
+        Called by :class:`~repro.substrate.Substrate`; standalone caches
+        stay bound to the null registry and no bus.
+        """
+        self._obs_name = name
+        self._bus = bus
+        self._m_hits = registry.counter(f"cache.{name}.hits")
+        self._m_misses = registry.counter(f"cache.{name}.misses")
+        self._m_evictions = registry.counter(f"cache.{name}.evictions")
+        self._m_invalidations = registry.counter(f"cache.{name}.invalidations")
 
     # ------------------------------------------------------------------
     # Queries about cache content.
@@ -97,8 +119,10 @@ class DBBufferCache:
         if key in self._policy:
             self._policy.touch(key)
             self.stats.hits += 1
+            self._m_hits.inc()
             return True
         self.stats.misses += 1
+        self._m_misses.inc()
         self._insert(key)
         return False
 
@@ -115,6 +139,7 @@ class DBBufferCache:
             victim = self._policy.evict()
             self._forget(victim)  # type: ignore[arg-type]
             self.stats.evictions += 1
+            self._m_evictions.inc()
             if self.eviction_hook is not None:
                 self.eviction_hook(victim[0], victim[1])  # type: ignore[index]
         self._policy.insert(key)
@@ -154,6 +179,13 @@ class DBBufferCache:
         dropped = len(blocks)
         del self._cached_per_file[file_id]
         self.stats.invalidations += dropped
+        self._m_invalidations.inc(dropped)
+        if self._bus is not None:
+            self._bus.emit(
+                CacheInvalidated(
+                    cache=self._obs_name, file_id=file_id, blocks=dropped
+                )
+            )
         return dropped
 
     def clear(self) -> None:

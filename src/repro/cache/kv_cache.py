@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from repro.cache.policy import LRUPolicy, ReplacementPolicy
 from repro.cache.stats import CacheStats
+from repro.obs.events import EventBus
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 
 class KVStoreCache:
@@ -29,6 +31,22 @@ class KVStoreCache:
         self._policy = policy if policy is not None else LRUPolicy()
         self._values: dict[int, object] = {}
         self.stats = CacheStats()
+        self.bind_observability(NULL_REGISTRY, None, "kv")
+
+    def bind_observability(
+        self,
+        registry: MetricsRegistry,
+        bus: EventBus | None,
+        name: str,
+    ) -> None:
+        """Publish row-cache counters through ``registry``.
+
+        The row cache is keyed by key, not file, so compactions never
+        invalidate it — there are no file events to put on ``bus``.
+        """
+        self._m_hits = registry.counter(f"cache.{name}.hits")
+        self._m_misses = registry.counter(f"cache.{name}.misses")
+        self._m_evictions = registry.counter(f"cache.{name}.evictions")
 
     @property
     def capacity_pairs(self) -> int:
@@ -46,8 +64,10 @@ class KVStoreCache:
         if key in self._values:
             self._policy.touch(key)
             self.stats.hits += 1
+            self._m_hits.inc()
             return True, self._values[key]
         self.stats.misses += 1
+        self._m_misses.inc()
         return False, None
 
     def put(self, key: int, value: object) -> None:
@@ -64,6 +84,7 @@ class KVStoreCache:
             victim = self._policy.evict()
             del self._values[victim]  # type: ignore[arg-type]
             self.stats.evictions += 1
+            self._m_evictions.inc()
         self._policy.insert(key)
         self._values[key] = value
         self.stats.insertions += 1

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from repro.cache.policy import LRUPolicy, ReplacementPolicy
 from repro.cache.stats import CacheStats
+from repro.obs.events import EventBus
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 
 class OSBufferCache:
@@ -35,6 +37,26 @@ class OSBufferCache:
         self._page_size_kb = page_size_kb
         self._policy = policy if policy is not None else LRUPolicy()
         self.stats = CacheStats()
+        self.bind_observability(NULL_REGISTRY, None, "os")
+
+    def bind_observability(
+        self,
+        registry: MetricsRegistry,
+        bus: EventBus | None,
+        name: str,
+    ) -> None:
+        """Publish page-cache counters through ``registry``.
+
+        The page cache is keyed by physical address, not file, so it has
+        no file-level invalidations to report on ``bus``; compaction churn
+        shows up in its eviction counter instead.
+        """
+        self._m_hits = registry.counter(f"cache.{name}.hits")
+        self._m_misses = registry.counter(f"cache.{name}.misses")
+        self._m_evictions = registry.counter(f"cache.{name}.evictions")
+        self._m_compaction_pages = registry.counter(
+            f"cache.{name}.compaction_pages"
+        )
 
     @property
     def capacity_pages(self) -> int:
@@ -67,8 +89,10 @@ class OSBufferCache:
         if page in self._policy:
             self._policy.touch(page)
             self.stats.hits += 1
+            self._m_hits.inc()
             return True
         self.stats.misses += 1
+        self._m_misses.inc()
         self._insert(page)
         return False
 
@@ -82,6 +106,7 @@ class OSBufferCache:
         """
         first = self._page_of(address_kb)
         last = self._page_of(address_kb + max(size_kb - 1, 0))
+        self._m_compaction_pages.inc(last + 1 - first)
         for page in range(first, last + 1):
             if page in self._policy:
                 self._policy.touch(page)
@@ -96,5 +121,6 @@ class OSBufferCache:
         while len(self._policy) >= self._capacity:
             self._policy.evict()
             self.stats.evictions += 1
+            self._m_evictions.inc()
         self._policy.insert(page)
         self.stats.insertions += 1

@@ -11,6 +11,13 @@ Usage (installed or via ``python -m repro.cli``):
     # range-query mode, CSV time series out
     python -m repro.cli run --engine lsbm --scan --csv out.csv
 
+    # machine-readable summaries
+    python -m repro.cli run --engine lsbm --json
+    python -m repro.cli compare --engines blsm,lsbm --json
+
+    # record every engine event as a JSONL trace
+    python -m repro.cli trace --engine lsbm --out trace.jsonl
+
     # list available engines
     python -m repro.cli engines
 """
@@ -18,6 +25,7 @@ Usage (installed or via ``python -m repro.cli``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -83,11 +91,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         scan_mode=args.scan,
     )
-    print(ascii_table(_HEADERS, [_summary_row(args.engine, result)]))
-    print()
-    print(series_block("hit ratio", result.hit_ratio))
-    print(series_block("throughput (QPS)", result.throughput_qps))
-    print(series_block("DB size (MB)", result.db_size_mb))
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(ascii_table(_HEADERS, [_summary_row(args.engine, result)]))
+        print()
+        print(series_block("hit ratio", result.hit_ratio))
+        print(series_block("throughput (QPS)", result.throughput_qps))
+        print(series_block("DB size (MB)", result.db_size_mb))
     if args.csv:
         Path(args.csv).write_text("\n".join(result.to_csv_rows()) + "\n")
         print(f"\ntime series written to {args.csv}", file=sys.stderr)
@@ -102,6 +113,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         return 2
     config = SystemConfig.paper_scaled(args.scale)
     rows = []
+    summaries = []
     for name in names:
         print(f"running {name} ...", file=sys.stderr)
         result = run_experiment(
@@ -112,7 +124,32 @@ def cmd_compare(args: argparse.Namespace) -> int:
             scan_mode=args.scan,
         )
         rows.append(_summary_row(name, result))
-    print(ascii_table(_HEADERS, rows))
+        summaries.append(result.to_json_dict())
+    if args.json:
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+    else:
+        print(ascii_table(_HEADERS, rows))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    config = SystemConfig.paper_scaled(args.scale)
+    print(
+        f"tracing {args.engine} at 1/{args.scale} scale for "
+        f"{args.duration} virtual seconds -> {args.out}",
+        file=sys.stderr,
+    )
+    result = run_experiment(
+        args.engine,
+        config,
+        duration_s=args.duration,
+        seed=args.seed,
+        scan_mode=args.scan,
+        trace_path=args.out,
+    )
+    for name in sorted(result.event_counts):
+        print(f"{name}: {result.event_counts[name]}", file=sys.stderr)
+    print(f"trace written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -129,6 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run one engine, print its series")
     run.add_argument("--engine", required=True, choices=ENGINE_NAMES)
     run.add_argument("--csv", help="write the per-second series to this file")
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the run summary as JSON instead of tables",
+    )
     _add_common(run)
     run.set_defaults(func=cmd_run)
 
@@ -138,8 +180,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="blsm,leveldb,lsbm",
         help="comma-separated engine names",
     )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print all run summaries as a JSON list",
+    )
     _add_common(compare)
     compare.set_defaults(func=cmd_compare)
+
+    trace = commands.add_parser(
+        "trace", help="run one engine, record its events as JSONL"
+    )
+    trace.add_argument("--engine", required=True, choices=ENGINE_NAMES)
+    trace.add_argument(
+        "--out", default="trace.jsonl", help="JSONL output path"
+    )
+    _add_common(trace)
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -43,6 +43,7 @@ from repro.core.compaction_buffer import BufferLevel
 from repro.core.trim import TrimProcess
 from repro.lsm.base import GetResult, MergeOutcome, ReadCost, ScanResult
 from repro.lsm.blsm import BLSMTree
+from repro.obs.events import BufferFrozen, BufferUnfrozen, FileDiscarded
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries
 from repro.sstable.sorted_table import SortedTable
@@ -80,8 +81,19 @@ class LSbMTree(BLSMTree):
 
     name = "lsbm"
 
-    def __init__(self, config, clock, disk, db_cache=None, os_cache=None) -> None:
-        super().__init__(config, clock, disk, db_cache, os_cache)
+    def __init__(
+        self,
+        config=None,
+        clock=None,
+        disk=None,
+        db_cache=None,
+        os_cache=None,
+        *,
+        substrate=None,
+    ) -> None:
+        super().__init__(
+            config, clock, disk, db_cache, os_cache, substrate=substrate
+        )
         #: buffer[1..k]; index 0 unused (level 0 lives in DRAM + C0').
         self.buffer: list[BufferLevel] = [
             BufferLevel(level) for level in range(self.num_levels + 1)
@@ -96,9 +108,10 @@ class LSbMTree(BLSMTree):
         ]
         self.lsbm_stats = LSbMStats()
         self.trim = TrimProcess(
-            config,
+            self.config,
             cached_blocks=self._cached_blocks_of,
             remove_file=self._remove_buffer_file,
+            bus=self.bus,
         )
 
     # ------------------------------------------------------------------
@@ -121,6 +134,12 @@ class LSbMTree(BLSMTree):
         self.disk.free(file.extent)
         file.mark_removed()
         self.lsbm_stats.buffer_files_removed += 1
+        if self.bus.active:
+            self.bus.emit(
+                FileDiscarded(
+                    file_id=file.file_id, size_kb=file.size_kb, reason="buffer"
+                )
+            )
 
     def _remove_table_files(self, table: SortedTable) -> None:
         for file in table:
@@ -151,6 +170,8 @@ class LSbMTree(BLSMTree):
             # "When Ci becomes full and is merged down to next level,
             # Bi is unfrozen" — and its coverage restarts with the empty
             # new Ci.
+            if buf.frozen and self.bus.active:
+                self.bus.emit(BufferUnfrozen(level=level))
             buf.frozen = False
             self._covers[level] = True
             self._rounds[level] = _RoundAccounting()
@@ -168,6 +189,7 @@ class LSbMTree(BLSMTree):
             self.c[target],
             last_level=target == self.num_levels,
             dispose_sources=False,  # The buffered merge re-uses the inputs.
+            level=level,
         )
         group_into_superfiles(
             outcome.new_files, self.config.superfile_files, self.superfile_ids
@@ -203,6 +225,8 @@ class LSbMTree(BLSMTree):
         buf.frozen = True
         self._covers[level] = False
         self.lsbm_stats.freeze_events += 1
+        if self.bus.active:
+            self.bus.emit(BufferFrozen(level=level))
         for table in buf.take_all_serving():
             self._remove_table_files(table)
 

@@ -19,6 +19,7 @@ from collections.abc import Callable
 
 from repro.config import SystemConfig
 from repro.core.compaction_buffer import BufferLevel
+from repro.obs.events import EventBus, TrimRun
 from repro.sstable.sstable import SSTableFile
 
 
@@ -30,6 +31,7 @@ class TrimProcess:
         config: SystemConfig,
         cached_blocks: Callable[[int], int],
         remove_file: Callable[[SSTableFile], None],
+        bus: EventBus | None = None,
     ) -> None:
         """``cached_blocks`` maps a file id to its resident block count
         (the DB buffer cache's per-file counter); ``remove_file`` performs
@@ -38,6 +40,7 @@ class TrimProcess:
         self._threshold = config.trim_threshold
         self._cached_blocks = cached_blocks
         self._remove_file = remove_file
+        self._bus = bus
         self._last_run: int | None = None
         self.files_trimmed = 0
         self.runs = 0
@@ -66,4 +69,6 @@ class TrimProcess:
                         self._remove_file(file)
                         removed += 1
         self.files_trimmed += removed
+        if self._bus is not None and self._bus.active:
+            self._bus.emit(TrimRun(removed=removed, run_index=self.runs))
         return removed

@@ -1,12 +1,18 @@
 """Shared machinery for every LSM engine in the reproduction.
 
-All engines — LevelDB, bLSM, SM-tree and LSbM — share the same substrate
-wiring (simulated disk, DB and/or OS buffer cache, table builder, sequence
-numbers) and the same *costed* read primitives: every query returns not
-just its answer but a :class:`ReadCost` describing the operation's shape
-(cache hits, random disk blocks, sequential runs, Bloom probes).  The
-simulation driver converts that shape into modeled service time; the
-engines themselves stay purely logical.
+All engines — LevelDB, bLSM, SM-tree and LSbM — are built over the same
+typed :class:`~repro.substrate.Substrate` (simulated disk, DB and/or OS
+buffer cache, configuration, metrics registry, event bus) and share the
+same *costed* read primitives: every query returns not just its answer but
+a :class:`ReadCost` describing the operation's shape (cache hits, random
+disk blocks, sequential runs, Bloom probes).  The simulation driver
+converts that shape into modeled service time; the engines themselves stay
+purely logical.
+
+Every structural state transition — flush, compaction, file creation and
+discard — is published on the substrate's event bus (see
+:mod:`repro.obs.events`), so observers can follow compaction behaviour
+between the driver's per-second samples.
 """
 
 from __future__ import annotations
@@ -20,6 +26,12 @@ from repro.config import SystemConfig
 from repro.errors import EngineError
 from repro.lsm.memtable import Memtable
 from repro.lsm.wal import WriteAheadLog
+from repro.obs.events import (
+    CompactionEnd,
+    CompactionStart,
+    FileDiscarded,
+    FlushDone,
+)
 from repro.sstable.entry import Kind
 from repro.clock import VirtualClock
 from repro.sstable.block import Block
@@ -29,6 +41,7 @@ from repro.sstable.iterator import merge_with_obsolete_count
 from repro.sstable.sorted_table import SortedTable
 from repro.sstable.sstable import FileIdSource, SSTableFile
 from repro.sstable.superfile import SuperFileIdSource
+from repro.substrate import Substrate
 
 
 @dataclass
@@ -121,29 +134,88 @@ class LSMEngine(ABC):
 
     def __init__(
         self,
-        config: SystemConfig,
-        clock: VirtualClock,
-        disk,
+        config: SystemConfig | None = None,
+        clock: VirtualClock | None = None,
+        disk=None,
         db_cache: DBBufferCache | None = None,
         os_cache: OSBufferCache | None = None,
+        *,
+        substrate: Substrate | None = None,
     ) -> None:
-        self.config = config
-        self.clock = clock
-        self.disk = disk
-        self.db_cache = db_cache
-        self.os_cache = os_cache
+        """Wire the engine over ``substrate``.
+
+        Callers either pass a ready :class:`~repro.substrate.Substrate`
+        (the :mod:`repro.sim.experiment` path) or the loose
+        ``(config, clock, disk, caches)`` pieces, from which a substrate —
+        with its own registry and event bus — is assembled here.
+        """
+        if substrate is None:
+            if config is None or clock is None or disk is None:
+                raise EngineError(
+                    "engine construction requires a Substrate or "
+                    "(config, clock, disk)"
+                )
+            substrate = Substrate(
+                config=config,
+                clock=clock,
+                disk=disk,
+                db_cache=db_cache,
+                os_cache=os_cache,
+            )
+        self.substrate = substrate
+        self.config = substrate.config
+        self.clock = substrate.clock
+        self.disk = substrate.disk
+        self.db_cache = substrate.db_cache
+        self.os_cache = substrate.os_cache
+        self.registry = substrate.registry
+        self.bus = substrate.bus
         self.file_ids = FileIdSource()
         self.superfile_ids = SuperFileIdSource()
-        self.builder = TableBuilder(config, disk, self.file_ids, self.superfile_ids)
-        self.memtable = Memtable(config.pair_size_kb)
+        self.builder = TableBuilder(
+            self.config, self.disk, self.file_ids, self.superfile_ids, self.bus
+        )
+        self.memtable = Memtable(self.config.pair_size_kb)
         self.wal: WriteAheadLog | None = (
-            WriteAheadLog(disk, config.pair_size_kb)
-            if config.wal_enabled
+            WriteAheadLog(self.disk, self.config.pair_size_kb)
+            if self.config.wal_enabled
             else None
         )
         self.stats = EngineStats()
+        self._m_flushes = self.registry.counter("engine.flushes")
+        self._m_compactions = self.registry.counter("engine.compactions")
+        self._m_compaction_read_kb = self.registry.counter(
+            "engine.compaction_read_kb"
+        )
+        self._m_compaction_write_kb = self.registry.counter(
+            "engine.compaction_write_kb"
+        )
         self._seq = 0
         self._closed = False
+
+    # ------------------------------------------------------------------
+    # The typed engine protocol the simulation driver consumes.
+    # ------------------------------------------------------------------
+    @property
+    def metric_cache(self) -> DBBufferCache | OSBufferCache | None:
+        """The cache whose hit ratio forms an experiment's reported series.
+
+        The DB buffer cache when the stack has one, else the OS page
+        cache, else ``None`` — the rule the driver previously implemented
+        by duck-probing engine attributes.
+        """
+        if self.db_cache is not None:
+            return self.db_cache
+        return self.os_cache
+
+    @property
+    def compaction_buffer_kb(self) -> int | None:
+        """Live on-disk size of the compaction buffer; ``None`` without one.
+
+        Only LSbM maintains a compaction buffer; every other engine
+        reports ``None`` so samplers can skip the series entirely.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Write path (shared).
@@ -323,6 +395,7 @@ class LSMEngine(ABC):
         target: SortedTable,
         last_level: bool,
         dispose_sources: bool = True,
+        level: int = -1,
     ) -> MergeOutcome:
         """Merge ``source_files`` into the sorted run ``target``.
 
@@ -341,16 +414,25 @@ class LSMEngine(ABC):
         high = max(f.max_key for f in source_files)
         overlapping = target.files_overlapping(low, high)
 
+        read_kb = float(
+            sum(f.size_kb for f in source_files)
+            + sum(f.size_kb for f in overlapping)
+        )
+        if self.bus.active:
+            self.bus.emit(
+                CompactionStart(
+                    level=level,
+                    input_files=len(source_files) + len(overlapping),
+                    input_kb=read_kb,
+                )
+            )
+
         sources: list[list[Entry]] = [list(f.entries()) for f in source_files]
         sources.extend(list(f.entries()) for f in overlapping)
         merged, obsolete = merge_with_obsolete_count(
             sources, drop_tombstones=last_level
         )
 
-        read_kb = float(
-            sum(f.size_kb for f in source_files)
-            + sum(f.size_kb for f in overlapping)
-        )
         self._charge_compaction_read(source_files + overlapping)
 
         new_files = self.builder.build(iter(merged))
@@ -366,16 +448,35 @@ class LSMEngine(ABC):
             for file in source_files:
                 self._discard_file(file)
 
-        self.stats.compactions += 1
-        self.stats.compaction_read_kb += read_kb
-        self.stats.compaction_write_kb += write_kb
-        self.stats.obsolete_entries_dropped += obsolete
+        self._account_compaction(read_kb, write_kb, obsolete)
+        if self.bus.active:
+            self.bus.emit(
+                CompactionEnd(
+                    level=level,
+                    read_kb=read_kb,
+                    write_kb=write_kb,
+                    output_files=len(new_files),
+                    obsolete_entries=obsolete,
+                )
+            )
         return MergeOutcome(
             new_files=new_files,
             obsolete_entries=obsolete,
             read_kb=read_kb,
             write_kb=write_kb,
         )
+
+    def _account_compaction(
+        self, read_kb: float, write_kb: float, obsolete: int
+    ) -> None:
+        """Book one finished compaction into the stats and the registry."""
+        self.stats.compactions += 1
+        self.stats.compaction_read_kb += read_kb
+        self.stats.compaction_write_kb += write_kb
+        self.stats.obsolete_entries_dropped += obsolete
+        self._m_compactions.inc()
+        self._m_compaction_read_kb.inc(read_kb)
+        self._m_compaction_write_kb.inc(write_kb)
 
     def _pre_install_hook(
         self, old_files: list[SSTableFile], new_files: list[SSTableFile]
@@ -403,6 +504,10 @@ class LSMEngine(ABC):
         if self.db_cache is not None:
             self.db_cache.invalidate_file(file.file_id)
         self.disk.free(file.extent)
+        if self.bus.active:
+            self.bus.emit(
+                FileDiscarded(file_id=file.file_id, size_kb=file.size_kb)
+            )
 
     def _flush_memtable_to_files(self) -> list[SSTableFile]:
         """Write the memtable out as on-disk files (charged sequentially)."""
@@ -414,6 +519,15 @@ class LSMEngine(ABC):
         files = self.builder.build(iter(entries))
         self._on_compaction_output(files)
         self.stats.flushes += 1
+        self._m_flushes.inc()
+        if self.bus.active:
+            self.bus.emit(
+                FlushDone(
+                    entries=len(entries),
+                    files=len(files),
+                    size_kb=float(sum(f.size_kb for f in files)),
+                )
+            )
         return files
 
     # ------------------------------------------------------------------

@@ -29,9 +29,20 @@ class BLSMTree(LSMEngine):
 
     name = "blsm"
 
-    def __init__(self, config, clock, disk, db_cache=None, os_cache=None) -> None:
-        super().__init__(config, clock, disk, db_cache, os_cache)
-        self.num_levels = config.num_disk_levels
+    def __init__(
+        self,
+        config=None,
+        clock=None,
+        disk=None,
+        db_cache=None,
+        os_cache=None,
+        *,
+        substrate=None,
+    ) -> None:
+        super().__init__(
+            config, clock, disk, db_cache, os_cache, substrate=substrate
+        )
+        self.num_levels = self.config.num_disk_levels
         #: C[1..k] — the receiving run of each on-disk level.
         self.c: list[SortedTable] = [
             SortedTable() for _ in range(self.num_levels + 1)
@@ -124,6 +135,7 @@ class BLSMTree(LSMEngine):
             unit,
             self.c[target],
             last_level=target == self.num_levels,
+            level=level,
         )
         group_into_superfiles(
             outcome.new_files, self.config.superfile_files, self.superfile_ids

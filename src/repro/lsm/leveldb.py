@@ -24,9 +24,20 @@ class LevelDBTree(LSMEngine):
 
     name = "leveldb"
 
-    def __init__(self, config, clock, disk, db_cache=None, os_cache=None) -> None:
-        super().__init__(config, clock, disk, db_cache, os_cache)
-        self.num_levels = config.num_disk_levels
+    def __init__(
+        self,
+        config=None,
+        clock=None,
+        disk=None,
+        db_cache=None,
+        os_cache=None,
+        *,
+        substrate=None,
+    ) -> None:
+        super().__init__(
+            config, clock, disk, db_cache, os_cache, substrate=substrate
+        )
+        self.num_levels = self.config.num_disk_levels
         #: levels[1..k]; index 0 is unused (C0 is the memtable).
         self.levels: list[SortedTable] = [
             SortedTable() for _ in range(self.num_levels + 1)
@@ -52,7 +63,7 @@ class LevelDBTree(LSMEngine):
         run_files = self._flush_memtable_to_files()
         last = self.num_levels == 1
         for file in run_files:
-            self._merge_into_run([file], self.levels[1], last_level=last)
+            self._merge_into_run([file], self.levels[1], last_level=last, level=0)
 
     def _compact_one_file(self, level: int) -> None:
         """Move one file from ``level`` to ``level + 1`` (cursor order)."""
@@ -60,7 +71,9 @@ class LevelDBTree(LSMEngine):
         self._cursor[level] = file.max_key
         self.levels[level].remove(file)
         last = level + 1 == self.num_levels
-        self._merge_into_run([file], self.levels[level + 1], last_level=last)
+        self._merge_into_run(
+            [file], self.levels[level + 1], last_level=last, level=level
+        )
 
     def _pick_by_cursor(self, level: int) -> SSTableFile:
         files = self.levels[level].files

@@ -20,6 +20,7 @@ paper shows the two prices paid:
 from __future__ import annotations
 
 from repro.lsm.base import GetResult, LSMEngine, ReadCost, ScanResult
+from repro.obs.events import CompactionEnd, CompactionStart
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries, merge_with_obsolete_count
 from repro.sstable.sorted_table import SortedTable
@@ -30,9 +31,20 @@ class SMTree(LSMEngine):
 
     name = "sm"
 
-    def __init__(self, config, clock, disk, db_cache=None, os_cache=None) -> None:
-        super().__init__(config, clock, disk, db_cache, os_cache)
-        self.num_levels = config.num_disk_levels
+    def __init__(
+        self,
+        config=None,
+        clock=None,
+        disk=None,
+        db_cache=None,
+        os_cache=None,
+        *,
+        substrate=None,
+    ) -> None:
+        super().__init__(
+            config, clock, disk, db_cache, os_cache, substrate=substrate
+        )
+        self.num_levels = self.config.num_disk_levels
         #: levels[1..k]: newest table last.
         self.levels: list[list[SortedTable]] = [
             [] for _ in range(self.num_levels + 1)
@@ -70,6 +82,15 @@ class SMTree(LSMEngine):
         sources = [list(file.entries()) for file in input_files]
         target_level = min(level + 1, self.num_levels)
         drop = target_level == self.num_levels
+        if self.bus.active:
+            self.bus.emit(
+                CompactionStart(
+                    level=level,
+                    input_files=len(input_files),
+                    input_kb=input_kb,
+                    kind="whole-level",
+                )
+            )
         merged, obsolete = merge_with_obsolete_count(sources, drop_tombstones=drop)
 
         self._charge_compaction_read(input_files)
@@ -85,10 +106,18 @@ class SMTree(LSMEngine):
         for file in input_files:
             self._discard_file(file)
 
-        self.stats.compactions += 1
-        self.stats.compaction_read_kb += input_kb
-        self.stats.compaction_write_kb += output_kb
-        self.stats.obsolete_entries_dropped += obsolete
+        self._account_compaction(input_kb, output_kb, obsolete)
+        if self.bus.active:
+            self.bus.emit(
+                CompactionEnd(
+                    level=level,
+                    read_kb=input_kb,
+                    write_kb=output_kb,
+                    output_files=len(new_files),
+                    obsolete_entries=obsolete,
+                    kind="whole-level",
+                )
+            )
 
     # ------------------------------------------------------------------
     # Queries.

@@ -1,0 +1,57 @@
+"""repro.obs — the observability core shared by every layer.
+
+Three pieces, used together by :class:`~repro.substrate.Substrate`:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of typed counters,
+  gauges and histograms with a zero-cost disabled mode;
+* :mod:`repro.obs.events` — an :class:`EventBus` carrying structured
+  engine events (flushes, compactions, file lifecycle, cache
+  invalidations, trim runs, buffer freezes);
+* :mod:`repro.obs.trace` — a :class:`TraceRecorder` exporting the event
+  stream as a replayable, diffable JSONL log.
+"""
+
+from repro.obs.events import (
+    BufferFrozen,
+    BufferUnfrozen,
+    CacheInvalidated,
+    CompactionEnd,
+    CompactionStart,
+    Event,
+    EventBus,
+    EventTally,
+    FileCreated,
+    FileDiscarded,
+    FlushDone,
+    TrimRun,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import TraceRecorder, read_jsonl
+
+__all__ = [
+    "NULL_REGISTRY",
+    "BufferFrozen",
+    "BufferUnfrozen",
+    "CacheInvalidated",
+    "CompactionEnd",
+    "CompactionStart",
+    "Counter",
+    "Event",
+    "EventBus",
+    "EventTally",
+    "FileCreated",
+    "FileDiscarded",
+    "FlushDone",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "TrimRun",
+    "read_jsonl",
+]

@@ -1,0 +1,196 @@
+"""Structured engine events and the bus that carries them.
+
+Per-second sampling (the paper's measurement granularity) cannot explain
+*why* a hit-ratio series dips: the causes — a compaction deleting a hot
+file, a trim pass emptying a buffer level, a freeze — happen between
+samples.  Luo & Carey's performance-stability study makes the same point
+for real LSM systems: diagnosing them requires event-level traces.
+
+Every state transition an engine performs is therefore published as one
+frozen dataclass on an :class:`EventBus`:
+
+========================= ==================================================
+event                     emitted when
+========================= ==================================================
+:class:`FlushDone`        the memtable was written out as level-0 files
+:class:`CompactionStart`  a merge's inputs are chosen, before any I/O
+:class:`CompactionEnd`    a merge installed its outputs
+:class:`FileCreated`      the table builder allocated one on-disk file
+:class:`FileDiscarded`    a file's extent was freed (with the reason)
+:class:`CacheInvalidated` a cache dropped a deleted file's resident blocks
+:class:`TrimRun`          LSbM's trim pass finished (Algorithm 2)
+:class:`BufferFrozen`     a compaction-buffer level froze (repeated data)
+:class:`BufferUnfrozen`   a frozen level rotated and resumed buffering
+========================= ==================================================
+
+The file events form a *ledger*: every ``FileCreated`` must eventually be
+matched by a ``FileDiscarded`` or correspond to a live file, and the summed
+sizes reconcile with ``disk.live_kb`` — the invariant the engine
+conformance tests assert for every engine variant.
+
+A bus with no subscribers short-circuits in ``emit`` and emitters can skip
+event construction entirely by checking :attr:`EventBus.active`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class FlushDone:
+    """The memtable was flushed into ``files`` level-0 files."""
+
+    entries: int
+    files: int
+    size_kb: float
+
+
+@dataclass(frozen=True, slots=True)
+class CompactionStart:
+    """A merge is about to read its inputs.
+
+    ``level`` is the source level (-1 when the engine has no levels, e.g.
+    the flat HBase store); ``kind`` distinguishes merge flavours
+    ("merge", "whole-level", "minor", "major").
+    """
+
+    level: int
+    input_files: int
+    input_kb: float
+    kind: str = "merge"
+
+
+@dataclass(frozen=True, slots=True)
+class CompactionEnd:
+    """A merge installed its outputs and retired its inputs."""
+
+    level: int
+    read_kb: float
+    write_kb: float
+    output_files: int
+    obsolete_entries: int
+    kind: str = "merge"
+
+
+@dataclass(frozen=True, slots=True)
+class FileCreated:
+    """The builder allocated one on-disk file."""
+
+    file_id: int
+    size_kb: int
+    extent_start: int
+
+
+@dataclass(frozen=True, slots=True)
+class FileDiscarded:
+    """A file's extent was freed.
+
+    ``reason`` is "compaction" for normal retirement of merged inputs and
+    rewritten outputs, "buffer" for LSbM's compaction-buffer removals
+    (trim, pace-removal, freeze).
+    """
+
+    file_id: int
+    size_kb: int
+    reason: str = "compaction"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheInvalidated:
+    """A cache dropped the resident blocks of a deleted file."""
+
+    cache: str
+    file_id: int
+    blocks: int
+
+
+@dataclass(frozen=True, slots=True)
+class TrimRun:
+    """One pass of LSbM's trim process completed."""
+
+    removed: int
+    run_index: int
+
+
+@dataclass(frozen=True, slots=True)
+class BufferFrozen:
+    """A compaction-buffer level stopped accepting appends."""
+
+    level: int
+
+
+@dataclass(frozen=True, slots=True)
+class BufferUnfrozen:
+    """A frozen level rotated; buffering resumed."""
+
+    level: int
+
+
+#: Union of every event type, for subscribers that want static typing.
+Event = (
+    FlushDone
+    | CompactionStart
+    | CompactionEnd
+    | FileCreated
+    | FileDiscarded
+    | CacheInvalidated
+    | TrimRun
+    | BufferFrozen
+    | BufferUnfrozen
+)
+
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe fan-out of engine events.
+
+    Handlers run inline on ``emit`` in subscription order, type-specific
+    subscribers before catch-all ones.  Handlers must not raise: an engine
+    mid-compaction is in no position to unwind observer errors.
+    """
+
+    __slots__ = ("_by_type", "_all", "active")
+
+    def __init__(self) -> None:
+        self._by_type: dict[type, list[Handler]] = {}
+        self._all: list[Handler] = []
+        #: True once anything subscribed; emitters may skip building
+        #: events entirely while this is False.
+        self.active = False
+
+    def subscribe(self, event_type: type, handler: Handler) -> None:
+        """Receive every future event of exactly ``event_type``."""
+        self._by_type.setdefault(event_type, []).append(handler)
+        self.active = True
+
+    def subscribe_all(self, handler: Handler) -> None:
+        """Receive every future event of any type (trace recorders)."""
+        self._all.append(handler)
+        self.active = True
+
+    def emit(self, event: Event) -> None:
+        if not self.active:
+            return
+        for handler in self._by_type.get(type(event), ()):
+            handler(event)
+        for handler in self._all:
+            handler(event)
+
+
+class EventTally:
+    """A subscriber counting events by type name (the cheapest observer)."""
+
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self.counts: _TallyCounter[str] = _TallyCounter()
+        if bus is not None:
+            bus.subscribe_all(self)
+
+    def __call__(self, event: Event) -> None:
+        self.counts[type(event).__name__] += 1
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.counts)

@@ -1,0 +1,182 @@
+"""Typed metric instruments and the registry every layer publishes into.
+
+Prior to the observability refactor each subsystem grew its own ad-hoc
+counter bundle (``EngineStats``, ``CacheStats``, ``DiskStats``) and the
+driver had to know where each one lived.  The registry keeps those typed
+dataclasses — they remain the cheapest way to difference snapshots — but
+gives every layer one place to *also* publish named instruments, so a
+whole engine stack can be inspected (or exported) uniformly:
+
+>>> registry = MetricsRegistry()
+>>> flushes = registry.counter("engine.flushes")
+>>> flushes.inc()
+>>> registry.snapshot()["engine.flushes"]
+1.0
+
+Instruments come in three types, mirroring the usual registries
+(Prometheus, OpenTelemetry):
+
+* :class:`Counter` — monotonically increasing float;
+* :class:`Gauge` — a settable point-in-time value;
+* :class:`Histogram` — count/sum/min/max of observations.
+
+A disabled registry (``MetricsRegistry(enabled=False)``, or the shared
+:data:`NULL_REGISTRY`) hands out shared no-op instruments and records
+nothing, so instrumented hot paths cost one dynamic dispatch and no
+allocation when observability is off.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount=})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Aggregate statistics (count/sum/min/max) of a stream of observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Name-keyed home of every instrument one engine stack publishes.
+
+    Instruments are created on first request and shared on repeat requests
+    (so two layers asking for the same name increment the same counter —
+    asking for an existing name with a *different* type is an error).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, null_instance):
+        if not self.enabled:
+            return null_instance
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, _NULL_COUNTER)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, _NULL_GAUGE)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram, _NULL_HISTOGRAM)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, float | dict[str, float]]:
+        """Every instrument's current value, keyed by name.
+
+        Counters and gauges flatten to a float; histograms become a
+        ``{count, sum, min, max, mean}`` dict (empty histograms report
+        zeroed bounds so the snapshot stays JSON-friendly).
+        """
+        out: dict[str, float | dict[str, float]] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Histogram):
+                empty = instrument.count == 0
+                out[name] = {
+                    "count": float(instrument.count),
+                    "sum": instrument.total,
+                    "min": 0.0 if empty else instrument.min,
+                    "max": 0.0 if empty else instrument.max,
+                    "mean": instrument.mean,
+                }
+            else:
+                out[name] = instrument.value
+        return out
+
+
+#: Shared disabled registry: layers constructed without a substrate bind to
+#: this, making their instrumentation free until somebody cares.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

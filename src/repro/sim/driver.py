@@ -27,6 +27,7 @@ from repro.cache.stats import CacheStats
 from repro.config import SystemConfig
 from repro.lsm.base import ReadCost
 from repro.clock import VirtualClock
+from repro.obs.events import EventTally
 from repro.sim.metrics import RunResult
 from repro.storage.iomodel import IOCostModel
 from repro.workload.ycsb import RangeHotWorkload
@@ -52,7 +53,8 @@ class MixedReadWriteDriver:
         """``scan_mode`` switches readers from point reads (Fig. 8/9) to
         the paper's 100 KB range queries (Fig. 10/11).  ``metric_cache``
         is the cache whose hit ratio forms the reported series; defaults
-        to the engine's DB cache, falling back to its OS cache."""
+        to the engine's own :attr:`~repro.lsm.base.LSMEngine.metric_cache`
+        choice (DB cache, falling back to the OS cache)."""
         self.engine = engine
         self.config = config
         self.clock = clock
@@ -60,11 +62,12 @@ class MixedReadWriteDriver:
         self.rng = random.Random(seed)
         self.scan_mode = scan_mode
         self.cost_model = IOCostModel(config)
-        if metric_cache is None:
-            metric_cache = getattr(engine, "db_cache", None)
-            if metric_cache is None:
-                metric_cache = getattr(engine, "os_cache", None)
-        self.metric_cache = metric_cache
+        self.metric_cache = (
+            metric_cache if metric_cache is not None else engine.metric_cache
+        )
+        #: Counts every event the engine publishes while this driver owns
+        #: it; each run reports the delta over its own window.
+        self.event_tally = EventTally(engine.bus)
         self._write_credit = 0.0
         self._read_debt = 0.0
         self._last_cache_stats: CacheStats | None = None
@@ -112,10 +115,8 @@ class MixedReadWriteDriver:
     def run(self, duration_s: int | None = None, sample_every: int = 1) -> RunResult:
         """Drive the engine for ``duration_s`` virtual seconds."""
         duration = duration_s if duration_s is not None else self.config.duration_s
-        result = RunResult(
-            engine=getattr(self.engine, "name", type(self.engine).__name__),
-            duration_s=duration,
-        )
+        result = RunResult(engine=self.engine.name, duration_s=duration)
+        events_before = dict(self.event_tally.counts)
         for _ in range(duration):
             now = self.clock.now
             self._apply_writes(result)
@@ -125,6 +126,11 @@ class MixedReadWriteDriver:
             if now % sample_every == 0:
                 self._sample(now, reads, utilization, result)
             self.clock.advance(1)
+        result.event_counts = {
+            name: count - events_before.get(name, 0)
+            for name, count in self.event_tally.counts.items()
+            if count - events_before.get(name, 0)
+        }
         return result
 
     def _apply_writes(self, result: RunResult) -> None:
@@ -182,7 +188,7 @@ class MixedReadWriteDriver:
         size_kb = disk.live_kb + disk.tick_temp_space_kb()
         result.db_size_mb.add(now, size_kb * self.config.ops_scale / 1024.0)
         result.disk_utilization.add(now, utilization)
-        buffer_kb = getattr(self.engine, "compaction_buffer_kb", None)
+        buffer_kb = self.engine.compaction_buffer_kb
         if buffer_kb is not None:
             result.buffer_size_mb.add(
                 now, buffer_kb * self.config.ops_scale / 1024.0

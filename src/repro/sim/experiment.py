@@ -19,10 +19,12 @@ from repro.lsm.blsm import BLSMTree
 from repro.lsm.leveldb import LevelDBTree
 from repro.lsm.sm_tree import SMTree
 from repro.clock import VirtualClock
+from repro.obs.trace import TraceRecorder
 from repro.sim.driver import MixedReadWriteDriver
 from repro.sim.metrics import RunResult
 from repro.sstable.entry import Entry
 from repro.storage.disk import SimulatedDisk
+from repro.substrate import Substrate
 from repro.variants.hbase import HBaseStyleStore
 from repro.variants.kv_store import KVCachedBLSM
 from repro.variants.warmup import WarmupBLSMTree
@@ -63,16 +65,17 @@ class ExperimentSetup:
     disk: SimulatedDisk
     db_cache: DBBufferCache | None
     os_cache: OSBufferCache | None
+    substrate: Substrate | None = None
 
 
 def build_engine(name: str, config: SystemConfig) -> ExperimentSetup:
     """Construct one engine variant with its cache stack.
 
-    ``leveldb-oscache`` is the Fig. 2 configuration: no DB cache, all
-    reads (queries *and* compactions) share the OS page cache.
+    Every variant is wired through one :class:`~repro.substrate.Substrate`
+    so its disk and caches publish into the same metrics registry and
+    event bus.  ``leveldb-oscache`` is the Fig. 2 configuration: no DB
+    cache, all reads (queries *and* compactions) share the OS page cache.
     """
-    clock = VirtualClock()
-    disk = SimulatedDisk(clock, config.seq_bandwidth_kb_per_s)
     db_cache: DBBufferCache | None = None
     os_cache: OSBufferCache | None = None
 
@@ -80,25 +83,27 @@ def build_engine(name: str, config: SystemConfig) -> ExperimentSetup:
         os_cache = OSBufferCache(
             capacity_pages=config.cache_blocks, page_size_kb=config.block_size_kb
         )
-        engine: object = LevelDBTree(config, clock, disk, os_cache=os_cache)
+        substrate = Substrate.create(config, os_cache=os_cache)
+        engine: object = LevelDBTree(substrate=substrate)
     elif name == "blsm+kvcache":
-        engine = KVCachedBLSM(config, clock, disk)
+        substrate = Substrate.create(config)
+        engine = KVCachedBLSM(substrate=substrate)
         db_cache = engine.db_cache
+        substrate = engine.substrate  # The cache-bound sibling.
     elif name in ("blsm-dual", "lsbm-dual"):
         db_cache = DBBufferCache(config.cache_blocks)
         os_cache = OSBufferCache(
             capacity_pages=max(1, int(config.cache_blocks * _DUAL_OS_FRACTION)),
             page_size_kb=config.block_size_kb,
         )
+        substrate = Substrate.create(config, db_cache=db_cache, os_cache=os_cache)
         cls = BLSMTree if name == "blsm-dual" else LSbMTree
-        engine = cls(config, clock, disk, db_cache=db_cache, os_cache=os_cache)
+        engine = cls(substrate=substrate)
     elif name in ("hbase", "hbase-nomajor"):
         db_cache = DBBufferCache(config.cache_blocks)
+        substrate = Substrate.create(config, db_cache=db_cache)
         engine = HBaseStyleStore(
-            config,
-            clock,
-            disk,
-            db_cache=db_cache,
+            substrate=substrate,
             major_interval_s=5_000 if name == "hbase" else None,
         )
     else:
@@ -116,9 +121,18 @@ def build_engine(name: str, config: SystemConfig) -> ExperimentSetup:
             raise ConfigError(
                 f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
             ) from None
-        engine = cls(config, clock, disk, db_cache=db_cache)
+        substrate = Substrate.create(config, db_cache=db_cache)
+        engine = cls(substrate=substrate)
 
-    return ExperimentSetup(engine, config, clock, disk, db_cache, os_cache)
+    return ExperimentSetup(
+        engine,
+        config,
+        substrate.clock,
+        substrate.disk,
+        db_cache,
+        os_cache,
+        substrate,
+    )
 
 
 def preload(setup: ExperimentSetup) -> None:
@@ -141,9 +155,20 @@ def run_experiment(
     seed: int = 0,
     scan_mode: bool = False,
     do_preload: bool = True,
+    trace_path: str | None = None,
 ) -> RunResult:
-    """Build, preload and drive one engine; returns the measured series."""
+    """Build, preload and drive one engine; returns the measured series.
+
+    With ``trace_path`` every engine event — including the preload's file
+    creations, so the ledger reconciles — is recorded and written out as
+    JSONL, closed by a ``TraceEnd`` line carrying the final disk state.
+    """
     setup = build_engine(engine_name, config)
+    recorder: TraceRecorder | None = None
+    if trace_path is not None:
+        # Attach before the preload: its bulk-loaded files are part of
+        # the file-lifecycle ledger the trace must balance.
+        recorder = TraceRecorder(setup.clock, setup.substrate.bus)
     if do_preload:
         preload(setup)
     workload = RangeHotWorkload(config)
@@ -157,4 +182,15 @@ def run_experiment(
     )
     result = driver.run(duration_s)
     result.config_note = f"scale-adjusted; scan_mode={scan_mode}"
+    if recorder is not None and trace_path is not None:
+        stats = setup.engine.stats
+        recorder.finalize(
+            engine=engine_name,
+            live_kb=setup.disk.live_kb,
+            live_extents=setup.disk.live_extents,
+            compaction_write_kb=stats.compaction_write_kb,
+            compaction_read_kb=stats.compaction_read_kb,
+            flushes=stats.flushes,
+        )
+        recorder.write_jsonl(trace_path)
     return result

@@ -4,12 +4,75 @@ Every figure in the paper's evaluation is either a per-second time series
 (hit ratio, throughput, database size) or an average of one over the run.
 :class:`TimeSeries` stores one sampled quantity; :class:`RunResult` bundles
 the standard set the driver collects, with the averaging helpers the
-summary figures (9, 11, 13) need.
+summary figures (9, 11, 13) need.  Per-read latencies are kept in a
+:class:`LatencyReservoir` — a paper-length run completes tens of millions
+of reads, far too many to hold as individual floats.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
+
+
+class LatencyReservoir:
+    """Uniform fixed-size sample of a latency stream (Algorithm R).
+
+    Vitter's reservoir sampling: the first ``capacity`` observations fill
+    the reservoir, after which observation ``n`` replaces a random slot
+    with probability ``capacity / n`` — every observation ends up retained
+    with equal probability, so percentiles over the reservoir estimate the
+    stream's percentiles without holding the stream.
+
+    ``len()`` reports the number of values *observed* (the stream length),
+    not the number retained; iteration yields the retained sample.
+    """
+
+    def __init__(self, capacity: int = 8192, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._samples: list[float] = []
+        self.count = 0
+
+    def append(self, value: float) -> None:
+        """Observe one value (list-compatible name for the drivers)."""
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    add = append
+
+    @property
+    def samples(self) -> list[float]:
+        """A copy of the retained sample (at most ``capacity`` values)."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    def percentile(self, percentile: float) -> float:
+        """Estimated stream percentile (e.g. 50, 99) from the sample."""
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {percentile}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(
+            len(ordered) - 1, max(0, round(percentile / 100 * (len(ordered) - 1)))
+        )
+        return ordered[rank]
 
 
 class TimeSeries:
@@ -99,9 +162,12 @@ class RunResult:
     reads_completed: int = 0
     writes_applied: int = 0
     duration_s: int = 0
-    #: Modeled per-operation read latencies in real seconds (one sample
-    #: per simulated read, already divided back by ``ops_scale``).
-    read_latencies_s: list[float] = field(default_factory=list)
+    #: Modeled per-operation read latencies in real seconds (one
+    #: observation per simulated read, already divided back by
+    #: ``ops_scale``), reservoir-sampled to a bounded memory footprint.
+    read_latencies_s: LatencyReservoir = field(default_factory=LatencyReservoir)
+    #: Engine events observed during the run, counted by type name.
+    event_counts: dict[str, int] = field(default_factory=dict)
 
     def warmup_samples(self, fraction: float = 0.1) -> int:
         """Sample count to skip so summaries ignore the cold start."""
@@ -118,15 +184,23 @@ class RunResult:
 
     def latency_percentile_s(self, percentile: float) -> float:
         """Read-latency percentile (e.g. 50, 99) over the whole run."""
-        if not self.read_latencies_s:
-            return 0.0
-        if not 0.0 <= percentile <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100]: {percentile}")
-        ordered = sorted(self.read_latencies_s)
-        rank = min(
-            len(ordered) - 1, max(0, round(percentile / 100 * (len(ordered) - 1)))
-        )
-        return ordered[rank]
+        return self.read_latencies_s.percentile(percentile)
+
+    def to_json_dict(self) -> dict[str, object]:
+        """The run summary as a JSON-serializable dict (``cli --json``)."""
+        return {
+            "engine": self.engine,
+            "config_note": self.config_note,
+            "duration_s": self.duration_s,
+            "reads_completed": self.reads_completed,
+            "writes_applied": self.writes_applied,
+            "mean_hit_ratio": self.mean_hit_ratio(),
+            "mean_throughput_qps": self.mean_throughput(),
+            "mean_db_size_mb": self.mean_db_size_mb(),
+            "latency_p50_ms": self.latency_percentile_s(50) * 1000,
+            "latency_p99_ms": self.latency_percentile_s(99) * 1000,
+            "event_counts": dict(self.event_counts),
+        }
 
     def to_csv_rows(self) -> list[str]:
         """The per-second series as CSV lines (header first).

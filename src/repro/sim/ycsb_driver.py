@@ -81,11 +81,9 @@ class YCSBDriver:
     # The run loop.
     # ------------------------------------------------------------------
     def run(self, duration_s: int) -> RunResult:
-        result = RunResult(
-            engine=getattr(self.engine, "name", type(self.engine).__name__),
-            duration_s=duration_s,
-        )
+        result = RunResult(engine=self.engine.name, duration_s=duration_s)
         metric_cache = self._pricer.metric_cache
+        events_before = dict(self._pricer.event_tally.counts)
         last_stats = None
         for _ in range(duration_s):
             now = self.clock.now
@@ -118,4 +116,10 @@ class YCSBDriver:
                 last_stats = stats.snapshot()
                 result.hit_ratio.add(now, ratio)
             self.clock.advance(1)
+        tally = self._pricer.event_tally.counts
+        result.event_counts = {
+            name: count - events_before.get(name, 0)
+            for name, count in tally.items()
+            if count - events_before.get(name, 0)
+        }
         return result

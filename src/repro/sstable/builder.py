@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.config import SystemConfig
+from repro.obs.events import EventBus, FileCreated
 from repro.sstable.block import Block
 from repro.sstable.entry import Entry
 from repro.sstable.sstable import FileIdSource, SSTableFile
@@ -24,7 +25,13 @@ from repro.storage.disk import SimulatedDisk
 
 
 class TableBuilder:
-    """Turns sorted entry streams into files and super-files."""
+    """Turns sorted entry streams into files and super-files.
+
+    Every built file is announced as a
+    :class:`~repro.obs.events.FileCreated` event when a bus is attached —
+    the opening half of the file-lifecycle ledger the conformance tests
+    reconcile against the disk's final state.
+    """
 
     def __init__(
         self,
@@ -32,11 +39,13 @@ class TableBuilder:
         disk: SimulatedDisk,
         file_ids: FileIdSource,
         superfile_ids: SuperFileIdSource,
+        bus: EventBus | None = None,
     ) -> None:
         self._config = config
         self._disk = disk
         self._file_ids = file_ids
         self._superfile_ids = superfile_ids
+        self._bus = bus
 
     def build(
         self,
@@ -69,10 +78,17 @@ class TableBuilder:
             extent = self._disk.allocate(size_kb)
             if charge_write:
                 self._disk.background_write(size_kb)
-            files.append(
-                SSTableFile(self._file_ids.next_id(), list(blocks), extent)
-            )
+            file = SSTableFile(self._file_ids.next_id(), list(blocks), extent)
+            files.append(file)
             blocks.clear()
+            if self._bus is not None and self._bus.active:
+                self._bus.emit(
+                    FileCreated(
+                        file_id=file.file_id,
+                        size_kb=file.size_kb,
+                        extent_start=extent.start,
+                    )
+                )
 
         for entry in entries:
             pending.append(entry)

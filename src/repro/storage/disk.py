@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import StorageError
 from repro.clock import VirtualClock
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.storage.extent import Extent, ExtentAllocator
 
 
@@ -67,6 +68,7 @@ class SimulatedDisk:
         self._bandwidth = seq_bandwidth_kb_per_s
         self._allocator = ExtentAllocator()
         self.stats = DiskStats()
+        self.bind_observability(NULL_REGISTRY)
         self._tick = _TickLedger()
         #: Background work queued but not yet absorbed by the device.  A
         #: compaction step is *issued* within one virtual second but its
@@ -76,6 +78,21 @@ class SimulatedDisk:
         #: real disk would behave.
         self._backlog_kb = 0.0
 
+    def bind_observability(self, registry: MetricsRegistry) -> None:
+        """Publish the disk ledger through ``registry``.
+
+        Called by :class:`~repro.substrate.Substrate`; until then the disk
+        writes to the shared null registry, so standalone construction
+        (unit tests, ad-hoc scripts) pays nothing.
+        """
+        self._m_seq_read_kb = registry.counter("disk.seq_read_kb")
+        self._m_seq_write_kb = registry.counter("disk.seq_write_kb")
+        self._m_random_reads = registry.counter("disk.random_read_blocks")
+        self._m_seeks = registry.counter("disk.seeks")
+        self._m_allocations = registry.counter("disk.allocations")
+        self._m_frees = registry.counter("disk.frees")
+        self._m_live_kb = registry.gauge("disk.live_kb")
+
     # ------------------------------------------------------------------
     # Space management.
     # ------------------------------------------------------------------
@@ -83,12 +100,16 @@ class SimulatedDisk:
         """Allocate a contiguous extent (one file or super-file)."""
         extent = self._allocator.allocate(size_kb)
         self.stats.allocations += 1
+        self._m_allocations.inc()
+        self._m_live_kb.set(self._allocator.live_kb)
         return extent
 
     def free(self, extent: Extent) -> None:
         """Release an extent; its addresses are never reused."""
         self._allocator.free(extent)
         self.stats.frees += 1
+        self._m_frees.inc()
+        self._m_live_kb.set(self._allocator.live_kb)
 
     def is_live(self, extent: Extent) -> bool:
         return self._allocator.is_live(extent)
@@ -109,11 +130,13 @@ class SimulatedDisk:
         """Record a sequential compaction read of ``size_kb``."""
         self._record_background(size_kb, seeks)
         self.stats.seq_read_kb += size_kb
+        self._m_seq_read_kb.inc(size_kb)
 
     def background_write(self, size_kb: float, seeks: int = 1) -> None:
         """Record a sequential compaction write of ``size_kb``."""
         self._record_background(size_kb, seeks)
         self.stats.seq_write_kb += size_kb
+        self._m_seq_write_kb.inc(size_kb)
 
     def note_temp_space(self, size_kb: float) -> None:
         """Record transient space held during this second's compaction.
@@ -132,6 +155,7 @@ class SimulatedDisk:
         self._tick.background_kb += size_kb
         self._tick.background_seeks += seeks
         self.stats.seeks += seeks
+        self._m_seeks.inc(seeks)
 
     def _roll_tick(self) -> None:
         if self._tick.second != self._clock.now:
@@ -155,10 +179,14 @@ class SimulatedDisk:
     def foreground_random_read(self, blocks: int = 1) -> None:
         self.stats.random_read_blocks += blocks
         self.stats.seeks += blocks
+        self._m_random_reads.inc(blocks)
+        self._m_seeks.inc(blocks)
 
     def foreground_sequential_read(self, size_kb: float, seeks: int = 1) -> None:
         self.stats.seq_read_kb += size_kb
         self.stats.seeks += seeks
+        self._m_seq_read_kb.inc(size_kb)
+        self._m_seeks.inc(seeks)
 
     # ------------------------------------------------------------------
     # Utilization.

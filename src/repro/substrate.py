@@ -1,0 +1,91 @@
+"""The typed substrate every engine stack is built from.
+
+Before this existed, each engine's ``__init__`` took a loose
+``(config, clock, disk, db_cache, os_cache)`` tuple and the driver had to
+duck-probe engines for whatever else it needed.  :class:`Substrate`
+bundles the full shared environment — configuration, virtual clock,
+simulated disk, the cache hierarchy, and the observability core
+(:class:`~repro.obs.metrics.MetricsRegistry` +
+:class:`~repro.obs.events.EventBus`) — into one typed object that
+:class:`~repro.lsm.base.LSMEngine` and :mod:`repro.sim.experiment` build
+from.
+
+Constructing a substrate *binds* its disk and caches to the registry and
+bus, so every layer publishes through one spine without each call site
+having to thread observability arguments around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.db_cache import DBBufferCache
+from repro.cache.os_cache import OSBufferCache
+from repro.clock import VirtualClock
+from repro.config import SystemConfig
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.disk import SimulatedDisk
+
+
+@dataclass
+class Substrate:
+    """Everything below an engine: config, time, disk, caches, observability."""
+
+    config: SystemConfig
+    clock: VirtualClock
+    disk: SimulatedDisk
+    db_cache: DBBufferCache | None = None
+    os_cache: OSBufferCache | None = None
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    bus: EventBus = field(default_factory=EventBus)
+
+    def __post_init__(self) -> None:
+        self.disk.bind_observability(self.registry)
+        if self.db_cache is not None:
+            self.db_cache.bind_observability(self.registry, self.bus, "db")
+        if self.os_cache is not None:
+            self.os_cache.bind_observability(self.registry, self.bus, "os")
+
+    @classmethod
+    def create(
+        cls,
+        config: SystemConfig,
+        db_cache: DBBufferCache | None = None,
+        os_cache: OSBufferCache | None = None,
+        registry: MetricsRegistry | None = None,
+        bus: EventBus | None = None,
+    ) -> "Substrate":
+        """Build a substrate with a fresh clock and disk for ``config``."""
+        clock = VirtualClock()
+        disk = SimulatedDisk(clock, config.seq_bandwidth_kb_per_s)
+        return cls(
+            config=config,
+            clock=clock,
+            disk=disk,
+            db_cache=db_cache,
+            os_cache=os_cache,
+            registry=registry if registry is not None else MetricsRegistry(),
+            bus=bus if bus is not None else EventBus(),
+        )
+
+    def with_caches(
+        self,
+        db_cache: DBBufferCache | None,
+        os_cache: OSBufferCache | None = None,
+    ) -> "Substrate":
+        """A sibling substrate sharing everything but the cache stack.
+
+        Composite engines (the K-V cached variant) carve their own cache
+        hierarchy out of the same DRAM budget while reusing the clock,
+        disk, registry and bus of the enclosing stack.
+        """
+        return Substrate(
+            config=self.config,
+            clock=self.clock,
+            disk=self.disk,
+            db_cache=db_cache,
+            os_cache=os_cache,
+            registry=self.registry,
+            bus=self.bus,
+        )

@@ -28,6 +28,7 @@ approach does not solve the cache-invalidation problem — the
 from __future__ import annotations
 
 from repro.lsm.base import GetResult, LSMEngine, ReadCost, ScanResult
+from repro.obs.events import CompactionEnd, CompactionStart
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries, merge_with_obsolete_count
 from repro.sstable.sorted_table import SortedTable
@@ -40,16 +41,20 @@ class HBaseStyleStore(LSMEngine):
 
     def __init__(
         self,
-        config,
-        clock,
-        disk,
+        config=None,
+        clock=None,
+        disk=None,
         db_cache=None,
         os_cache=None,
         max_store_files: int = 6,
         minor_merge_files: int = 3,
         major_interval_s: int | None = 5_000,
+        *,
+        substrate=None,
     ) -> None:
-        super().__init__(config, clock, disk, db_cache, os_cache)
+        super().__init__(
+            config, clock, disk, db_cache, os_cache, substrate=substrate
+        )
         if minor_merge_files < 2:
             raise ValueError("minor compactions must merge at least 2 files")
         #: Sorted tables, oldest first (newest flushed last).
@@ -91,21 +96,35 @@ class HBaseStyleStore(LSMEngine):
             key=lambda i: sum(t.size_kb for t in self.tables[i : i + window]),
         )
         merged_table = self._merge_tables(
-            self.tables[start : start + window], drop_obsolete=False
+            self.tables[start : start + window],
+            drop_obsolete=False,
+            kind="minor",
         )
         self.tables[start : start + window] = [merged_table]
         self.minor_compactions += 1
 
     def _major_compaction(self) -> None:
         """Merge the whole store, dropping old versions and tombstones."""
-        merged_table = self._merge_tables(self.tables, drop_obsolete=True)
+        merged_table = self._merge_tables(
+            self.tables, drop_obsolete=True, kind="major"
+        )
         self.tables = [merged_table]
         self.major_compactions += 1
 
     def _merge_tables(
-        self, tables: list[SortedTable], drop_obsolete: bool
+        self, tables: list[SortedTable], drop_obsolete: bool, kind: str
     ) -> SortedTable:
         input_files = [f for table in tables for f in table.files]
+        input_kb = float(sum(f.size_kb for f in input_files))
+        if self.bus.active:
+            self.bus.emit(
+                CompactionStart(
+                    level=0,
+                    input_files=len(input_files),
+                    input_kb=input_kb,
+                    kind=kind,
+                )
+            )
         sources = [list(f.entries()) for f in input_files]
         merged, obsolete = merge_with_obsolete_count(
             sources, drop_tombstones=drop_obsolete
@@ -113,13 +132,24 @@ class HBaseStyleStore(LSMEngine):
         self._charge_compaction_read(input_files)
         new_files = self.builder.build(iter(merged))
         self._on_compaction_output(new_files)
-        self.disk.note_temp_space(float(sum(f.size_kb for f in input_files)))
+        output_kb = float(sum(f.size_kb for f in new_files))
+        self.disk.note_temp_space(input_kb)
         for file in input_files:
             self._discard_file(file)
-        self.stats.compactions += 1
-        self.stats.compaction_read_kb += sum(f.size_kb for f in input_files)
-        self.stats.compaction_write_kb += sum(f.size_kb for f in new_files)
-        self.stats.obsolete_entries_dropped += obsolete if drop_obsolete else 0
+        self._account_compaction(
+            input_kb, output_kb, obsolete if drop_obsolete else 0
+        )
+        if self.bus.active:
+            self.bus.emit(
+                CompactionEnd(
+                    level=0,
+                    read_kb=input_kb,
+                    write_kb=output_kb,
+                    output_files=len(new_files),
+                    obsolete_entries=obsolete if drop_obsolete else 0,
+                    kind=kind,
+                )
+            )
         return SortedTable(new_files)
 
     # ------------------------------------------------------------------

@@ -33,19 +33,32 @@ class KVCachedBLSM:
 
     def __init__(
         self,
-        config: SystemConfig,
-        clock: VirtualClock,
-        disk,
+        config: SystemConfig | None = None,
+        clock: VirtualClock | None = None,
+        disk=None,
         kv_fraction: float = 0.5,
+        *,
+        substrate=None,
     ) -> None:
         if not 0.0 < kv_fraction < 1.0:
             raise ValueError(f"kv_fraction must be in (0, 1), got {kv_fraction}")
+        if substrate is not None:
+            config = substrate.config
+        if config is None:
+            raise ValueError("KVCachedBLSM requires a config or a substrate")
         self.config = config
         kv_kb = int(config.cache_size_kb * kv_fraction)
         block_kb = config.cache_size_kb - kv_kb
         self.kv_cache = KVStoreCache(max(1, kv_kb // config.pair_size_kb))
         self.db_cache = DBBufferCache(max(1, block_kb // config.block_size_kb))
-        self.engine = BLSMTree(config, clock, disk, db_cache=self.db_cache)
+        if substrate is not None:
+            engine_substrate = substrate.with_caches(self.db_cache)
+            self.kv_cache.bind_observability(
+                engine_substrate.registry, engine_substrate.bus, "kv"
+            )
+            self.engine = BLSMTree(substrate=engine_substrate)
+        else:
+            self.engine = BLSMTree(config, clock, disk, db_cache=self.db_cache)
 
     # ------------------------------------------------------------------
     # Write path: write-through into the row cache.
@@ -106,6 +119,28 @@ class KVCachedBLSM:
     @property
     def disk(self):
         return self.engine.disk
+
+    @property
+    def substrate(self):
+        return self.engine.substrate
+
+    @property
+    def registry(self):
+        return self.engine.registry
+
+    @property
+    def bus(self):
+        return self.engine.bus
+
+    @property
+    def metric_cache(self) -> DBBufferCache:
+        """The block cache is the reported series; the row cache sits
+        in front of the engine and has its own hit accounting."""
+        return self.db_cache
+
+    @property
+    def compaction_buffer_kb(self) -> None:
+        return None
 
     def close(self) -> None:
         self.engine.close()

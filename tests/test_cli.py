@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.trace import read_jsonl
 
 
 class TestParser:
@@ -72,6 +75,79 @@ class TestRunCommand:
             ]
         )
         assert code == 0
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        code = main(
+            [
+                "run",
+                "--engine",
+                "blsm",
+                "--scale",
+                "8192",
+                "--duration",
+                "200",
+                "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["engine"] == "blsm"
+        assert summary["duration_s"] == 200
+        assert "latency_p99_ms" in summary
+        assert isinstance(summary["event_counts"], dict)
+
+    def test_compare_json(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--engines",
+                "blsm,lsbm",
+                "--scale",
+                "8192",
+                "--duration",
+                "200",
+                "--json",
+            ]
+        )
+        assert code == 0
+        summaries = json.loads(capsys.readouterr().out)
+        assert [s["engine"] for s in summaries] == ["blsm", "lsbm"]
+
+
+class TestTraceCommand:
+    def test_trace_writes_reconcilable_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "--engine",
+                "lsbm",
+                "--scale",
+                "8192",
+                "--duration",
+                "300",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        records = read_jsonl(out)
+        assert records, "trace must not be empty"
+        end = records[-1]
+        assert end["event"] == "TraceEnd"
+        created = sum(
+            r["size_kb"] for r in records if r["event"] == "FileCreated"
+        )
+        discarded = sum(
+            r["size_kb"] for r in records if r["event"] == "FileDiscarded"
+        )
+        assert created - discarded == end["live_kb"]
+        write_kb = sum(
+            r["write_kb"] for r in records if r["event"] == "CompactionEnd"
+        )
+        assert write_kb == pytest.approx(end["compaction_write_kb"])
 
 
 class TestCompareCommand:

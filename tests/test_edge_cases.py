@@ -3,14 +3,12 @@ unusual-but-legal operation patterns."""
 
 import random
 
-import pytest
 
 from repro.config import SystemConfig
 from repro.sim.driver import MixedReadWriteDriver
 from repro.sim.experiment import build_engine, preload
 from repro.sstable.entry import Entry, value_for
 
-from .conftest import make_engine
 
 
 class TestKeyBoundaries:

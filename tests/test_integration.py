@@ -5,7 +5,6 @@ for the unit-test suite, strong enough to pin the qualitative behaviour
 each figure rests on.  The full-size reruns live under ``benchmarks/``.
 """
 
-import pytest
 
 from repro.config import SystemConfig
 from repro.sim.experiment import build_engine, preload, run_experiment

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.cache.db_cache import DBBufferCache
 from repro.clock import VirtualClock

@@ -10,7 +10,7 @@ from repro.sstable.builder import TableBuilder
 from repro.sstable.entry import Entry, Kind, newest, value_for
 from repro.sstable.iterator import merge_entries, merge_with_obsolete_count
 from repro.sstable.sorted_table import SortedTable
-from repro.sstable.sstable import FileIdSource, SSTableFile
+from repro.sstable.sstable import FileIdSource
 from repro.sstable.superfile import SuperFileIdSource, group_into_superfiles
 from repro.storage.disk import SimulatedDisk
 
