@@ -17,7 +17,15 @@ from repro.bloom.hashing import hash_pair
 
 
 class BloomFilter:
-    """Fixed-size Bloom filter over integer keys (double hashing)."""
+    """Fixed-size Bloom filter over integer keys.
+
+    Probes use *enhanced* double hashing (Dillinger & Manolios): plain
+    ``h1 + i*h2`` degrades on small filters — whenever ``gcd(h2 % m, m)``
+    is large the k probes cycle through a handful of bit positions (one
+    bit in the worst case ``h2 % m == 0``), which measurably inflates
+    the false-positive rate.  The accelerating increment ``y += i + 1``
+    keeps the probe sequence out of short cycles.
+    """
 
     __slots__ = ("_bits", "_num_bits", "_num_hashes", "_num_keys")
 
@@ -43,18 +51,24 @@ class BloomFilter:
     def add(self, key: int) -> None:
         """Insert ``key`` into the filter."""
         h1, h2 = hash_pair(key)
+        m = self._num_bits
+        x, y = h1 % m, h2 % m
         for i in range(self._num_hashes):
-            bit = (h1 + i * h2) % self._num_bits
-            self._bits[bit >> 3] |= 1 << (bit & 7)
+            self._bits[x >> 3] |= 1 << (x & 7)
+            x = (x + y) % m
+            y = (y + i + 1) % m
         self._num_keys += 1
 
     def may_contain(self, key: int) -> bool:
         """Membership check: ``False`` is definite, ``True`` is probabilistic."""
         h1, h2 = hash_pair(key)
+        m = self._num_bits
+        x, y = h1 % m, h2 % m
         for i in range(self._num_hashes):
-            bit = (h1 + i * h2) % self._num_bits
-            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+            if not self._bits[x >> 3] & (1 << (x & 7)):
                 return False
+            x = (x + y) % m
+            y = (y + i + 1) % m
         return True
 
     @property
@@ -68,6 +82,18 @@ class BloomFilter:
     @property
     def num_keys(self) -> int:
         return self._num_keys
+
+    def fill_fraction(self) -> float:
+        """Fraction of bits set.
+
+        ``fill_fraction() ** num_hashes`` is the instance-exact expected
+        FP rate for independent uniform probes — unlike
+        :meth:`theoretical_fp_rate`, it reflects this filter's realized
+        fill rather than the ensemble average, which matters for small
+        filters.
+        """
+        ones = sum(bin(byte).count("1") for byte in self._bits)
+        return ones / self._num_bits
 
     def theoretical_fp_rate(self) -> float:
         """Expected false-positive rate for the current fill level."""

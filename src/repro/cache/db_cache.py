@@ -105,6 +105,15 @@ class DBBufferCache:
         """The resident block indices of one file (read-only view)."""
         return frozenset(self._by_file.get(file_id, ()))
 
+    def resident_file_ids(self) -> list[int]:
+        """Every file with at least one cached block.
+
+        The coherence checker sweeps this against the engine's live-file
+        set: a file id here that no longer exists on disk is a stale
+        cache entry a compaction failed to invalidate.
+        """
+        return list(self._by_file)
+
     # ------------------------------------------------------------------
     # The access path.
     # ------------------------------------------------------------------

@@ -97,3 +97,9 @@ class KVStoreCache:
         del self._values[key]
         self.stats.invalidations += 1
         return True
+
+    def clear(self) -> None:
+        """Drop everything (crash simulation: the row cache is DRAM)."""
+        for key in list(self._values):
+            self._policy.remove(key)
+        self._values.clear()

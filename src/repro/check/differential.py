@@ -1,0 +1,138 @@
+"""The differential runner: engine vs. oracle over a seeded schedule.
+
+One runner drives one engine variant through a schedule while a
+:class:`~repro.check.oracle.KVOracle` shadows every mutation.  Every
+``get`` and ``scan`` is compared against the oracle's answer on the
+spot, the invariant checkers ride along on the event bus, and a full
+``sweep()`` cross-check runs every ``check_every`` operations plus once
+at the end.  The result is a JSON-able :class:`DifferentialReport`; the
+``repro check`` CLI aggregates one per engine into its verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.invariants import InvariantChecker, attach_checkers
+from repro.check.oracle import KVOracle
+from repro.check.schedule import Op, ScheduleSpec, apply_op, generate_schedule
+from repro.config import SystemConfig
+from repro.sim.experiment import build_engine
+
+#: How many oracle mismatches to transcribe before only counting.
+_MAX_RECORDED_MISMATCHES = 20
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one engine's differential run."""
+
+    engine: str
+    seed: int
+    ops: int
+    oracle_checks: int = 0
+    mismatch_count: int = 0
+    mismatches: list[dict] = field(default_factory=list)
+    invariants: dict[str, dict] = field(default_factory=dict)
+    trim_runs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatch_count == 0 and all(
+            inv["ok"] for inv in self.invariants.values()
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "seed": self.seed,
+            "ops": self.ops,
+            "oracle": {
+                "checks": self.oracle_checks,
+                "mismatches": self.mismatch_count,
+                "examples": self.mismatches,
+                "ok": self.mismatch_count == 0,
+            },
+            "invariants": self.invariants,
+            "trim_runs": self.trim_runs,
+            "ok": self.ok,
+        }
+
+
+class DifferentialRunner:
+    """Run one engine in lockstep with the oracle."""
+
+    def __init__(
+        self,
+        engine_name: str,
+        *,
+        seed: int,
+        ops: int,
+        key_space: int = 2000,
+        config: SystemConfig | None = None,
+        check_every: int = 500,
+    ) -> None:
+        self.engine_name = engine_name
+        self.spec = ScheduleSpec(seed=seed, ops=ops, key_space=key_space)
+        self.config = config if config is not None else SystemConfig.tiny()
+        self.check_every = check_every
+        # Checkers must attach before the first operation: file events
+        # are only observable live, never reconstructable.
+        self.setup = build_engine(engine_name, self.config)
+        self.checkers: dict[str, InvariantChecker] = attach_checkers(self.setup)
+
+    def run(self) -> DifferentialReport:
+        report = DifferentialReport(
+            engine=self.engine_name, seed=self.spec.seed, ops=self.spec.ops
+        )
+        engine = self.setup.engine
+        clock = self.setup.clock
+        oracle = KVOracle()
+        for index, op in enumerate(generate_schedule(self.spec)):
+            result = apply_op(engine, clock, op)
+            if op.name == "put":
+                oracle.put(op.key, result)
+            elif op.name == "delete":
+                oracle.delete(op.key)
+            elif op.name == "get":
+                report.oracle_checks += 1
+                expected = oracle.get(op.key)
+                got = (result.found, result.value)
+                if got != expected:
+                    self._record_mismatch(report, index, op, expected, got)
+            elif op.name == "scan":
+                report.oracle_checks += 1
+                expected_scan = oracle.scan(op.key, op.high)
+                got_scan = [(e.key, e.value()) for e in result.entries]
+                if got_scan != expected_scan:
+                    self._record_mismatch(
+                        report, index, op, expected_scan, got_scan
+                    )
+            if (index + 1) % self.check_every == 0:
+                self._sweep()
+        self._sweep()
+        for name, checker in self.checkers.items():
+            report.invariants[name] = checker.report()
+        trim = self.checkers.get("trim-bound")
+        if trim is not None:
+            report.trim_runs = getattr(trim, "trim_runs", 0)
+        return report
+
+    def _sweep(self) -> None:
+        for checker in self.checkers.values():
+            checker.sweep()
+
+    @staticmethod
+    def _record_mismatch(
+        report: DifferentialReport, index: int, op: Op, expected, got
+    ) -> None:
+        report.mismatch_count += 1
+        if len(report.mismatches) < _MAX_RECORDED_MISMATCHES:
+            report.mismatches.append(
+                {
+                    "op_index": index,
+                    "op": op.describe(),
+                    "expected": repr(expected),
+                    "got": repr(got),
+                }
+            )

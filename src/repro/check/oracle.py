@@ -1,0 +1,64 @@
+"""The KV oracle: a trivially correct model of every engine's contract.
+
+Engines store ``(key, seq)`` pairs and reconstruct values as
+``value_for(key, seq)`` (see :mod:`repro.sstable.entry`), so the oracle
+only has to remember the newest sequence number per live key.  Puts
+overwrite, deletes remove, gets return the newest version, and scans
+return the live keys of a closed range in sorted order — exactly what
+every engine's ``get``/``scan`` must produce once memtable, runs,
+tombstones and compaction buffers are folded together.
+"""
+
+from __future__ import annotations
+
+from repro.sstable.entry import value_for
+
+
+class KVOracle:
+    """In-memory sorted-map model run in lockstep with an engine."""
+
+    def __init__(self) -> None:
+        #: Newest sequence number of each live (non-deleted) key.
+        self._live: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    # Mutations (mirroring the engine's write path).
+    # ------------------------------------------------------------------
+    def put(self, key: int, seq: int) -> None:
+        """Record that the engine assigned ``seq`` to a put of ``key``."""
+        self._live[key] = seq
+
+    def delete(self, key: int) -> None:
+        self._live.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Queries (the expected answers).
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> tuple[bool, str | None]:
+        """Expected ``(found, value)`` of a point lookup."""
+        seq = self._live.get(key)
+        if seq is None:
+            return False, None
+        return True, value_for(key, seq)
+
+    def scan(self, low: int, high: int) -> list[tuple[int, str]]:
+        """Expected ``(key, value)`` pairs of ``low <= key <= high``."""
+        return [
+            (key, value_for(key, self._live[key]))
+            for key in sorted(k for k in self._live if low <= k <= high)
+        ]
+
+    # ------------------------------------------------------------------
+    # Whole-state views (crash verification).
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[int, str]:
+        """Every live key mapped to its expected value."""
+        return {key: value_for(key, seq) for key, seq in self._live.items()}
+
+    def copy(self) -> "KVOracle":
+        clone = KVOracle()
+        clone._live = dict(self._live)
+        return clone

@@ -1,0 +1,107 @@
+"""Seeded schedule generation and replay.
+
+A schedule is a deterministic function of its :class:`ScheduleSpec`:
+identical specs produce identical operation lists, so the same schedule
+can be replayed against all engine variants (differential testing) or
+re-run from scratch to reconstruct an engine's exact state at any
+operation index (crash recovery verification).  Keys are drawn with a
+hot-range skew so caches actually fill, trims fire, and compactions
+rewrite recently read data — the paper's mixed read/write shape.
+
+``tick`` operations advance the virtual clock and call the engine's
+per-second housekeeping hook, which is what drives LSbM's trim process
+and HBase's scheduled major compactions inside a schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: (operation, cumulative probability) — puts and gets dominate, with
+#: enough deletes to exercise tombstone paths and enough ticks that
+#: time-driven machinery (trim, major compactions) runs mid-schedule.
+_OP_CDF = (
+    ("put", 0.34),
+    ("get", 0.68),
+    ("delete", 0.80),
+    ("scan", 0.92),
+    ("tick", 1.0),
+)
+
+
+@dataclass(frozen=True)
+class Op:
+    """One schedule step; unused fields stay at their defaults."""
+
+    name: str
+    key: int = 0
+    high: int = 0
+    seconds: int = 0
+
+    def describe(self) -> str:
+        if self.name == "scan":
+            return f"scan[{self.key}..{self.high}]"
+        if self.name == "tick":
+            return f"tick(+{self.seconds}s)"
+        return f"{self.name}({self.key})"
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """Everything that determines a schedule, hence a whole run."""
+
+    seed: int
+    ops: int
+    key_space: int = 2000
+    scan_span: int = 32
+    hot_fraction: float = 0.25
+    hot_probability: float = 0.7
+
+
+def generate_schedule(spec: ScheduleSpec) -> list[Op]:
+    """The deterministic operation list of ``spec``."""
+    rng = random.Random(spec.seed)
+    hot_keys = max(1, int(spec.key_space * spec.hot_fraction))
+    schedule: list[Op] = []
+
+    def draw_key() -> int:
+        if rng.random() < spec.hot_probability:
+            return rng.randrange(hot_keys)
+        return rng.randrange(spec.key_space)
+
+    for _ in range(spec.ops):
+        roll = rng.random()
+        for name, ceiling in _OP_CDF:
+            if roll <= ceiling:
+                break
+        if name == "scan":
+            low = rng.randrange(spec.key_space)
+            span = rng.randrange(1, spec.scan_span + 1)
+            schedule.append(Op("scan", key=low, high=low + span))
+        elif name == "tick":
+            schedule.append(Op("tick", seconds=rng.randrange(1, 11)))
+        else:
+            schedule.append(Op(name, key=draw_key()))
+    return schedule
+
+
+def apply_op(engine, clock, op: Op):
+    """Run one schedule step against ``engine``; returns its raw result.
+
+    Shared by the differential runner and the crash harness so that
+    "replay the first *i* operations" reconstructs bit-identical state.
+    """
+    if op.name == "put":
+        return engine.put(op.key)
+    if op.name == "delete":
+        return engine.delete(op.key)
+    if op.name == "get":
+        return engine.get(op.key)
+    if op.name == "scan":
+        return engine.scan(op.key, op.high)
+    if op.name == "tick":
+        clock.advance(op.seconds)
+        engine.tick(clock.now)
+        return None
+    raise ValueError(f"unknown schedule op: {op.name}")

@@ -18,6 +18,9 @@ Usage (installed or via ``python -m repro.cli``):
     # record every engine event as a JSONL trace
     python -m repro.cli trace --engine lsbm --out trace.jsonl
 
+    # differential correctness harness (JSON verdict, exit 0 iff green)
+    python -m repro.cli check --seed 0 --ops 20000 --engines all
+
     # list available engines
     python -m repro.cli engines
 """
@@ -153,6 +156,53 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Differential harness over one seed; prints a JSON verdict."""
+    from repro.check.crash import CrashRecoveryHarness
+    from repro.check.differential import DifferentialRunner
+    from repro.check.schedule import ScheduleSpec
+
+    if args.engines == "all":
+        names = list(ENGINE_NAMES)
+    else:
+        names = [n.strip() for n in args.engines.split(",") if n.strip()]
+        unknown = [n for n in names if n not in ENGINE_NAMES]
+        if unknown:
+            print(f"unknown engines: {unknown}; see `engines`", file=sys.stderr)
+            return 2
+    verdict: dict = {
+        "seed": args.seed,
+        "ops": args.ops,
+        "key_space": args.key_space,
+        "engines": {},
+    }
+    for name in names:
+        print(f"checking {name} ...", file=sys.stderr)
+        runner = DifferentialRunner(
+            name, seed=args.seed, ops=args.ops, key_space=args.key_space
+        )
+        report = runner.run().to_json_dict()
+        if args.crash:
+            harness = CrashRecoveryHarness(
+                name,
+                ScheduleSpec(
+                    seed=args.seed,
+                    ops=min(args.ops, args.crash_ops),
+                    key_space=args.key_space,
+                ),
+            )
+            outcomes = [o.to_json_dict() for o in harness.run_all()]
+            report["crash"] = {
+                "outcomes": outcomes,
+                "ok": all(o["consistent"] for o in outcomes),
+            }
+            report["ok"] = report["ok"] and report["crash"]["ok"]
+        verdict["engines"][name] = report
+    verdict["ok"] = all(r["ok"] for r in verdict["engines"].values())
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    return 0 if verdict["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +247,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(trace)
     trace.set_defaults(func=cmd_trace)
+
+    check = commands.add_parser(
+        "check",
+        help="differential correctness harness: oracle + invariants",
+    )
+    check.add_argument(
+        "--engines",
+        default="all",
+        help='comma-separated engine names, or "all" (default)',
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--ops",
+        type=int,
+        default=5000,
+        help="schedule length per engine (default 5000)",
+    )
+    check.add_argument(
+        "--key-space",
+        type=int,
+        default=2000,
+        help="distinct keys in the schedule (default 2000)",
+    )
+    check.add_argument(
+        "--crash",
+        action="store_true",
+        help="also run crash/recovery fault injection at every crash point",
+    )
+    check.add_argument(
+        "--crash-ops",
+        type=int,
+        default=2500,
+        help="schedule length for crash experiments (default 2500)",
+    )
+    check.set_defaults(func=cmd_check)
     return parser
 
 

@@ -191,6 +191,10 @@ class LSMEngine(ABC):
             "engine.compaction_write_kb"
         )
         self._seq = 0
+        #: Highest flushed seq whose WAL prefix still awaits truncation.
+        #: Truncation is deferred to the end of the compaction pass so a
+        #: crash anywhere inside the pass leaves the full tail durable.
+        self._pending_wal_truncate_seq = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -261,9 +265,23 @@ class LSMEngine(ABC):
     def scan(self, low: int, high: int) -> ScanResult:
         """Range query over ``low <= key <= high`` (newest versions)."""
 
-    @abstractmethod
     def run_compactions(self) -> None:
-        """Perform whatever compaction work current sizes demand."""
+        """Perform whatever compaction work current sizes demand.
+
+        Concrete wrapper around the engine-specific
+        :meth:`_do_compactions`: after the pass completes, the WAL prefix
+        covering any data flushed during the pass is truncated.  Nothing
+        is truncated mid-pass, so a crash at any point inside leaves a
+        log that still covers every unflushed write (replay is idempotent
+        — same key, same seq — even for records whose data did reach
+        disk).
+        """
+        self._do_compactions()
+        self._apply_pending_wal_truncate()
+
+    @abstractmethod
+    def _do_compactions(self) -> None:
+        """Engine-specific compaction pass (wrapped by run_compactions)."""
 
     @abstractmethod
     def bulk_load(self, entries: list[Entry]) -> None:
@@ -510,14 +528,23 @@ class LSMEngine(ABC):
             )
 
     def _flush_memtable_to_files(self) -> list[SSTableFile]:
-        """Write the memtable out as on-disk files (charged sequentially)."""
+        """Write the memtable out as on-disk files (charged sequentially).
+
+        Files are built *before* the memtable is cleared, and the WAL
+        prefix is only marked for truncation — the actual truncate runs
+        at the end of the enclosing compaction pass (see
+        :meth:`run_compactions`), so a crash mid-flush or mid-compaction
+        never loses the log records of data whose files were not yet
+        durable.
+        """
         entries = self.memtable.sorted_entries()
-        self.memtable.clear()
-        if self.wal is not None and entries:
-            # The flushed data is durable in files now; drop its log tail.
-            self.wal.truncate_through(max(e.seq for e in entries))
         files = self.builder.build(iter(entries))
         self._on_compaction_output(files)
+        self.memtable.clear()
+        if self.wal is not None and entries:
+            self._pending_wal_truncate_seq = max(
+                self._pending_wal_truncate_seq, max(e.seq for e in entries)
+            )
         self.stats.flushes += 1
         self._m_flushes.inc()
         if self.bus.active:
@@ -529,6 +556,12 @@ class LSMEngine(ABC):
                 )
             )
         return files
+
+    def _apply_pending_wal_truncate(self) -> None:
+        """Truncate the WAL prefix of data flushed this compaction pass."""
+        if self.wal is not None and self._pending_wal_truncate_seq:
+            self.wal.truncate_through(self._pending_wal_truncate_seq)
+            self._pending_wal_truncate_seq = 0
 
     # ------------------------------------------------------------------
     # Crash simulation and recovery (WAL-backed engines only).
@@ -542,6 +575,8 @@ class LSMEngine(ABC):
         """
         lost = len(self.memtable)
         self.memtable.clear()
+        # The pending-truncate marker is process state: it dies too.
+        self._pending_wal_truncate_seq = 0
         return lost
 
     def recover(self) -> int:

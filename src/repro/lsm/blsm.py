@@ -71,7 +71,7 @@ class BLSMTree(LSMEngine):
     # The gear scheduler (Algorithm 1's control flow, without the
     # compaction-buffer lines — LSbM adds those by overriding hooks).
     # ------------------------------------------------------------------
-    def run_compactions(self) -> None:
+    def _do_compactions(self) -> None:
         while self.level_total_kb(0) >= self.config.level0_size_kb:
             if not self._one_pass():
                 break

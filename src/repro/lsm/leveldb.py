@@ -50,7 +50,7 @@ class LevelDBTree(LSMEngine):
     # ------------------------------------------------------------------
     # Compactions.
     # ------------------------------------------------------------------
-    def run_compactions(self) -> None:
+    def _do_compactions(self) -> None:
         if self.memtable.size_kb >= self.config.level0_size_kb:
             self._flush_and_merge_into_c1()
         for level in range(1, self.num_levels):

@@ -59,7 +59,7 @@ class SMTree(LSMEngine):
     # ------------------------------------------------------------------
     # Compactions (lazy stepped merges).
     # ------------------------------------------------------------------
-    def run_compactions(self) -> None:
+    def _do_compactions(self) -> None:
         if self.memtable.size_kb >= self.config.level0_size_kb:
             files = self._flush_memtable_to_files()
             self.levels[1].append(SortedTable(files))
@@ -81,7 +81,12 @@ class SMTree(LSMEngine):
         input_kb = float(sum(f.size_kb for f in input_files))
         sources = [list(file.entries()) for file in input_files]
         target_level = min(level + 1, self.num_levels)
-        drop = target_level == self.num_levels
+        # Tombstones may only be dropped by the in-place collapse of the
+        # last level itself: a merge of level k-1 *into* level k appends a
+        # new table next to existing last-level tables, and one of those
+        # can still hold an older live version of a deleted key — dropping
+        # the tombstone there would resurrect it on the next read.
+        drop = level == self.num_levels
         if self.bus.active:
             self.bus.emit(
                 CompactionStart(

@@ -17,6 +17,7 @@ simulated disk, and "crash" means discarding the memtable.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.sstable.entry import Entry, Kind
@@ -43,17 +44,24 @@ class WriteAheadLog:
         self._records: list[LogRecord] = []
         self._truncated_through_seq = 0
         self.bytes_logged_kb = 0.0
+        #: Crash-point hook (see :mod:`repro.check.crash`): called with a
+        #: point name at instrumented instants; an armed injector raises.
+        self.fault_hook: Callable[[str], None] | None = None
 
     # ------------------------------------------------------------------
     # Writing.
     # ------------------------------------------------------------------
     def append(self, key: int, seq: int, kind: Kind) -> None:
         """Durably record one write before it enters the memtable."""
+        if self.fault_hook is not None:
+            self.fault_hook("wal.append.before")
         self._records.append(LogRecord(key, seq, kind))
         # A log append is a small sequential write (group commit amortizes
         # the seek, so charge transfer only).
         self._disk.background_write(self._pair_size_kb, seeks=0)
         self.bytes_logged_kb += self._pair_size_kb
+        if self.fault_hook is not None:
+            self.fault_hook("wal.append.after")
 
     def truncate_through(self, seq: int) -> int:
         """Drop records with ``seq <= seq`` (their data was flushed).
@@ -71,6 +79,16 @@ class WriteAheadLog:
     def replay(self) -> list[LogRecord]:
         """The surviving tail, in write order (for memtable rebuild)."""
         return list(self._records)
+
+    def restore_records(self, records: list[LogRecord]) -> None:
+        """Overwrite the tail with a captured durable log image.
+
+        The crash-recovery harness snapshots ``replay()`` at the crash
+        instant and splices it into a rebuilt engine before ``recover()``
+        — the in-memory equivalent of re-opening the log file a crashed
+        process left behind.
+        """
+        self._records = list(records)
 
     @property
     def tail_records(self) -> int:

@@ -18,6 +18,7 @@ traffic — the mechanism behind Fig. 2's OS-cache churn.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
@@ -77,6 +78,10 @@ class SimulatedDisk:
         #: foreground queueing) elevated for the following seconds — as a
         #: real disk would behave.
         self._backlog_kb = 0.0
+        #: Crash-point hook (see :mod:`repro.check.crash`): called with a
+        #: point name before each instrumented operation mutates state; an
+        #: armed injector raises to simulate a crash at that instant.
+        self.fault_hook: Callable[[str], None] | None = None
 
     def bind_observability(self, registry: MetricsRegistry) -> None:
         """Publish the disk ledger through ``registry``.
@@ -98,6 +103,8 @@ class SimulatedDisk:
     # ------------------------------------------------------------------
     def allocate(self, size_kb: int) -> Extent:
         """Allocate a contiguous extent (one file or super-file)."""
+        if self.fault_hook is not None:
+            self.fault_hook("disk.allocate")
         extent = self._allocator.allocate(size_kb)
         self.stats.allocations += 1
         self._m_allocations.inc()
@@ -106,6 +113,8 @@ class SimulatedDisk:
 
     def free(self, extent: Extent) -> None:
         """Release an extent; its addresses are never reused."""
+        if self.fault_hook is not None:
+            self.fault_hook("disk.free")
         self._allocator.free(extent)
         self.stats.frees += 1
         self._m_frees.inc()
@@ -128,12 +137,16 @@ class SimulatedDisk:
     # ------------------------------------------------------------------
     def background_read(self, size_kb: float, seeks: int = 1) -> None:
         """Record a sequential compaction read of ``size_kb``."""
+        if self.fault_hook is not None:
+            self.fault_hook("disk.background_read")
         self._record_background(size_kb, seeks)
         self.stats.seq_read_kb += size_kb
         self._m_seq_read_kb.inc(size_kb)
 
     def background_write(self, size_kb: float, seeks: int = 1) -> None:
         """Record a sequential compaction write of ``size_kb``."""
+        if self.fault_hook is not None:
+            self.fault_hook("disk.background_write")
         self._record_background(size_kb, seeks)
         self.stats.seq_write_kb += size_kb
         self._m_seq_write_kb.inc(size_kb)

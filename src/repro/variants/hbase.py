@@ -71,7 +71,7 @@ class HBaseStyleStore(LSMEngine):
     # ------------------------------------------------------------------
     # Compactions.
     # ------------------------------------------------------------------
-    def run_compactions(self) -> None:
+    def _do_compactions(self) -> None:
         if self.memtable.size_kb >= self.config.level0_size_kb:
             files = self._flush_memtable_to_files()
             self.tables.append(SortedTable(files))

@@ -142,5 +142,22 @@ class KVCachedBLSM:
     def compaction_buffer_kb(self) -> None:
         return None
 
+    @property
+    def wal(self):
+        return self.engine.wal
+
+    @property
+    def last_seq(self) -> int:
+        return self.engine.last_seq
+
+    def simulate_crash(self) -> int:
+        """Crash: the row cache is DRAM too — it dies with the memtable."""
+        lost = self.engine.simulate_crash()
+        self.kv_cache.clear()
+        return lost
+
+    def recover(self) -> int:
+        return self.engine.recover()
+
     def close(self) -> None:
         self.engine.close()

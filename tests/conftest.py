@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cache.db_cache import DBBufferCache
@@ -59,3 +62,15 @@ def make_engine(name: str, config: SystemConfig | None = None):
 def any_engine(request):
     """Parametrized fixture running a test against every engine."""
     return make_engine(request.param)
+
+
+@pytest.fixture(scope="session")
+def seed_corpus() -> dict:
+    """The pinned seed corpus (tests/seeds.json).
+
+    Differential failures are replayable by seed; bugs found by the
+    harness pin their failing (engine, seed, ops, key_space) here as
+    ``regressions`` entries so they stay covered forever.
+    """
+    path = Path(__file__).parent / "seeds.json"
+    return json.loads(path.read_text())

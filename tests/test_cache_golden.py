@@ -1,0 +1,142 @@
+"""Golden tests: exact eviction orders and invalidation hook sequences.
+
+Replacement behaviour is load-bearing for the whole reproduction — the
+trim process keys off per-file residency counts, and Fig. 8's churn
+curves depend on LRU ordering — so these tests pin the *exact* victim
+sequences under interleaved get/put/invalidate scripts, not just
+aggregate counts.
+"""
+
+from __future__ import annotations
+
+from repro.cache.db_cache import DBBufferCache
+from repro.cache.policy import ClockPolicy, LRUPolicy
+from repro.obs.events import CacheInvalidated, EventBus
+from repro.obs.metrics import NULL_REGISTRY
+
+# ----------------------------------------------------------------------
+# LRU policy: exact victim order.
+# ----------------------------------------------------------------------
+
+
+class TestLRUGolden:
+    def test_plain_insertion_order_evicts_fifo(self):
+        lru = LRUPolicy()
+        for key in ("a", "b", "c", "d"):
+            lru.insert(key)
+        assert [lru.evict() for _ in range(4)] == ["a", "b", "c", "d"]
+
+    def test_touch_moves_to_mru(self):
+        lru = LRUPolicy()
+        for key in ("a", "b", "c", "d"):
+            lru.insert(key)
+        lru.touch("a")
+        lru.touch("c")
+        assert [lru.evict() for _ in range(4)] == ["b", "d", "a", "c"]
+
+    def test_remove_is_not_an_eviction(self):
+        lru = LRUPolicy()
+        for key in ("a", "b", "c"):
+            lru.insert(key)
+        lru.remove("b")
+        assert "b" not in lru
+        assert [lru.evict() for _ in range(2)] == ["a", "c"]
+
+    def test_interleaved_script(self):
+        lru = LRUPolicy()
+        lru.insert("a")
+        lru.insert("b")
+        lru.touch("a")  # Order: b, a
+        lru.insert("c")  # Order: b, a, c
+        assert lru.evict() == "b"
+        lru.insert("d")  # Order: a, c, d
+        lru.touch("c")  # Order: a, d, c
+        assert [lru.evict() for _ in range(3)] == ["a", "d", "c"]
+
+
+# ----------------------------------------------------------------------
+# CLOCK policy: second-chance golden sequence.
+# ----------------------------------------------------------------------
+
+
+class TestClockGolden:
+    def test_unreferenced_evict_in_insertion_order(self):
+        clock = ClockPolicy()
+        for key in ("a", "b", "c"):
+            clock.insert(key)
+        assert [clock.evict() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_second_chance(self):
+        clock = ClockPolicy()
+        for key in ("a", "b", "c"):
+            clock.insert(key)
+        clock.touch("a")
+        # Hand passes a (bit set -> cleared, re-queued), evicts b.
+        assert clock.evict() == "b"
+        # a's bit is now clear and it sits behind c: c was inserted
+        # before a's re-queue position — next victims are c then a.
+        assert clock.evict() == "c"
+        assert clock.evict() == "a"
+
+
+# ----------------------------------------------------------------------
+# DB buffer cache: eviction hooks and invalidation events.
+# ----------------------------------------------------------------------
+
+
+class TestDBCacheGolden:
+    def test_eviction_hook_sequence_under_interleaving(self):
+        cache = DBBufferCache(capacity_blocks=3)
+        evicted: list[tuple[int, int]] = []
+        cache.eviction_hook = lambda f, b: evicted.append((f, b))
+
+        cache.access(1, 0)  # miss, insert (1,0)
+        cache.access(1, 1)  # miss, insert (1,1)
+        cache.access(2, 0)  # miss, insert (2,0) — full
+        cache.access(1, 0)  # hit: (1,0) becomes MRU
+        cache.access(3, 0)  # miss: evicts LRU (1,1)
+        assert evicted == [(1, 1)]
+        cache.access(4, 0)  # miss: evicts (2,0)
+        assert evicted == [(1, 1), (2, 0)]
+
+    def test_invalidation_bypasses_eviction_hook(self):
+        cache = DBBufferCache(capacity_blocks=4)
+        evicted: list[tuple[int, int]] = []
+        cache.eviction_hook = lambda f, b: evicted.append((f, b))
+        cache.access(1, 0)
+        cache.access(1, 1)
+        cache.access(2, 0)
+        dropped = cache.invalidate_file(1)
+        assert dropped == 2
+        assert evicted == []  # Invalidation is not an eviction decision.
+        assert cache.cached_blocks(1) == 0
+        assert cache.cached_blocks(2) == 1
+
+    def test_invalidation_emits_bus_event(self):
+        cache = DBBufferCache(capacity_blocks=4)
+        bus = EventBus()
+        seen: list[CacheInvalidated] = []
+        bus.subscribe(CacheInvalidated, seen.append)
+        cache.bind_observability(NULL_REGISTRY, bus, "db")
+        cache.access(7, 0)
+        cache.access(7, 1)
+        cache.invalidate_file(7)
+        assert len(seen) == 1
+        assert seen[0].file_id == 7 and seen[0].blocks == 2
+
+    def test_per_file_counters_track_interleaved_script(self):
+        cache = DBBufferCache(capacity_blocks=2)
+        cache.access(1, 0)
+        cache.access(2, 0)
+        cache.access(1, 0)  # hit — file 1 MRU
+        cache.access(3, 0)  # evicts file 2's block
+        assert cache.cached_blocks(1) == 1
+        assert cache.cached_blocks(2) == 0
+        assert cache.cached_blocks(3) == 1
+        assert sorted(cache.resident_file_ids()) == [1, 3]
+        assert cache.resident_blocks(1) == frozenset({0})
+
+    def test_invalidate_absent_file_is_a_noop(self):
+        cache = DBBufferCache(capacity_blocks=2)
+        assert cache.invalidate_file(99) == 0
+        assert cache.resident_file_ids() == []
