@@ -18,7 +18,9 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 from repro.config import SystemConfig
@@ -38,6 +40,12 @@ SIZE_DURATION = max(BENCH_DURATION, 13_000)
 RESULTS_DIR = Path(__file__).parent / "results"
 
 _run_cache: dict[tuple, RunResult] = {}
+
+#: Harness telemetry per cached run, keyed by ``id(result)``: how long
+#: the *simulator* took on the wall clock and how many simulated
+#: operations per real second it sustained.  Memoized reuse keeps the
+#: first (real) measurement.
+_telemetry: dict[int, dict[str, float]] = {}
 
 
 def bench_config(**overrides) -> SystemConfig:
@@ -59,11 +67,38 @@ def run_cached(
     key = (engine, scan_mode, duration, tuple(sorted(config_overrides.items())))
     if key not in _run_cache:
         config = bench_config(**config_overrides)
-        _run_cache[key] = run_experiment(
+        started = time.perf_counter()
+        result = run_experiment(
             engine, config, duration_s=duration, seed=BENCH_SEED,
             scan_mode=scan_mode,
         )
+        wall_s = time.perf_counter() - started
+        _run_cache[key] = result
+        sim_ops = result.reads_completed + result.writes_applied
+        _telemetry[id(result)] = {
+            "wall_clock_s": wall_s,
+            "sim_ops_per_s": sim_ops / wall_s if wall_s > 0 else 0.0,
+        }
     return _run_cache[key]
+
+
+def timed(fn):
+    """Run ``fn`` and, if it returns a RunResult, record its telemetry.
+
+    For benchmarks that drive experiments directly (bypassing
+    :func:`run_cached`), so their ``BENCH_*.json`` entries still carry
+    real wall-clock and ops/sec numbers.
+    """
+    started = time.perf_counter()
+    result = fn()
+    wall_s = time.perf_counter() - started
+    if isinstance(result, RunResult):
+        sim_ops = result.reads_completed + result.writes_applied
+        _telemetry[id(result)] = {
+            "wall_clock_s": wall_s,
+            "sim_ops_per_s": sim_ops / wall_s if wall_s > 0 else 0.0,
+        }
+    return result
 
 
 def write_report(name: str, text: str) -> None:
@@ -72,6 +107,118 @@ def write_report(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+#: Bench-telemetry JSON schema version (bump on breaking layout change).
+BENCH_SCHEMA_VERSION = 1
+
+#: Required per-run fields and their types, for :func:`validate_bench`.
+_BENCH_RUN_FIELDS = {
+    "engine": str,
+    "duration_s": int,
+    "reads_completed": int,
+    "writes_applied": int,
+    "mean_hit_ratio": float,
+    "mean_throughput_qps": float,
+    "mean_db_size_mb": float,
+    "latency_p50_ms": float,
+    "latency_p99_ms": float,
+    "event_counts": dict,
+    "bandwidth_kb_by_cause": dict,
+    "wall_clock_s": float,
+    "sim_ops_per_s": float,
+}
+
+
+def validate_bench(payload: dict) -> None:
+    """Assert a ``BENCH_*.json`` payload matches the expected schema.
+
+    Hand-rolled (the toolchain has no jsonschema); raises ``ValueError``
+    with the offending path so a drifting writer fails loudly in CI.
+    """
+    for field, kind in (
+        ("schema_version", int),
+        ("name", str),
+        ("scale", int),
+        ("duration_s", int),
+        ("seed", int),
+        ("runs", dict),
+        ("scalars", dict),
+    ):
+        if not isinstance(payload.get(field), kind):
+            raise ValueError(f"bench payload: {field!r} must be {kind.__name__}")
+    if payload["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench payload: schema_version {payload['schema_version']} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    if not payload["runs"] and not payload["scalars"]:
+        raise ValueError("bench payload: no runs and no scalars")
+    for label, value in payload["scalars"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                f"bench payload: scalars[{label!r}] must be a number"
+            )
+    for label, run in payload["runs"].items():
+        if not isinstance(run, dict):
+            raise ValueError(f"bench payload: runs[{label!r}] must be a dict")
+        for field, kind in _BENCH_RUN_FIELDS.items():
+            value = run.get(field)
+            if kind is float and isinstance(value, int):
+                value = float(value)
+            if not isinstance(value, kind):
+                raise ValueError(
+                    f"bench payload: runs[{label!r}][{field!r}] must be "
+                    f"{kind.__name__}, got {type(run.get(field)).__name__}"
+                )
+
+
+def _bench_label(key) -> str:
+    """Stringify a run key (sweeps use tuple keys like (engine, mult))."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def write_bench(
+    name: str,
+    runs: dict | None = None,
+    scalars: dict | None = None,
+) -> Path:
+    """Write one benchmark's telemetry as ``results/BENCH_<name>.json``.
+
+    Each labelled run carries its simulated summary (the figures' QPS and
+    hit ratios, via ``RunResult.to_json_dict``) *and* the harness's own
+    telemetry — wall-clock seconds and simulated ops per real second —
+    so a CI history of these files tracks both reproduction quality and
+    simulator performance.  ``scalars`` holds a micro-benchmark's
+    non-run numbers (write amplification, buffer sizes).  The payload is
+    schema-validated before it is written.
+    """
+    payload: dict = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "scale": BENCH_SCALE,
+        "duration_s": BENCH_DURATION,
+        "seed": BENCH_SEED,
+        "runs": {},
+        "scalars": {
+            _bench_label(k): v for k, v in (scalars or {}).items()
+        },
+    }
+    for label, result in (runs or {}).items():
+        entry = result.to_json_dict()
+        telemetry = _telemetry.get(
+            id(result), {"wall_clock_s": 0.0, "sim_ops_per_s": 0.0}
+        )
+        entry.update(telemetry)
+        payload["runs"][_bench_label(label)] = entry
+    validate_bench(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench telemetry written to {path}]")
+    return path
 
 
 def once(benchmark, func):

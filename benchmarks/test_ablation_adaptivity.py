@@ -17,7 +17,7 @@ from repro.sim.driver import MixedReadWriteDriver
 from repro.sim.experiment import build_engine, preload
 from repro.sim.report import ascii_table
 
-from .common import bench_config, once, write_report
+from .common import bench_config, once, write_bench, write_report
 
 DURATION = 5000
 
@@ -54,6 +54,12 @@ def test_ablation_adaptivity(benchmark):
         ]
     )
     write_report("ablation_adaptivity", report)
+    write_bench(
+        "ablation_adaptivity",
+        scalars={
+            f"{mode}_buffer_kb": kb for mode, kb in sizes.items()
+        },
+    )
 
     assert sizes["read-only"] == 0.0
     # Write-only: only the untrimmable newest tables may remain — at most

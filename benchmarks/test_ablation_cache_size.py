@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import bench_config, once, run_cached, write_report
+from .common import bench_config, once, run_cached, write_bench, write_report
 
 #: Fractions chosen so capacity actually binds at the low end (the hot
 #: range is 15% of the data; at 30%+ the cache holds it comfortably).
@@ -53,6 +53,7 @@ def test_ablation_cache_size(benchmark):
         ]
     )
     write_report("ablation_cache_size", report)
+    write_bench("ablation_cache_size", runs)
 
     # More cache never hurts.
     for engine in ("blsm", "lsbm"):

@@ -30,7 +30,7 @@ from repro.sstable.sstable import FileIdSource
 from repro.sstable.superfile import SuperFileIdSource
 from repro.storage.disk import SimulatedDisk
 
-from .common import once, write_report
+from .common import once, write_bench, write_report
 
 KEYSPACE = 4096
 HOT_KEYS = 1640  # ~40% hot; deliberately not aligned to file boundaries.
@@ -105,6 +105,19 @@ def test_ablation_file_size_trim_precision(benchmark):
         ]
     )
     write_report("ablation_file_size", report)
+    write_bench(
+        "ablation_file_size",
+        scalars=(
+            {
+                f"retention_error_kb_{size}kb": float(errors[size])
+                for size in FILE_SIZES_KB
+            }
+            | {
+                f"compaction_units_{size}kb": results[size][2]
+                for size in FILE_SIZES_KB
+            }
+        ),
+    )
 
     # Bigger trim units can only blur the hot/cold boundary…
     assert errors[FILE_SIZES_KB[0]] <= errors[FILE_SIZES_KB[-1]]

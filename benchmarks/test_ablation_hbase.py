@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import once, run_cached, write_report
+from .common import once, run_cached, write_bench, write_report
 
 DURATION = 8000
 
@@ -58,6 +58,7 @@ def test_ablation_hbase_interference(benchmark):
         ]
     )
     write_report("ablation_hbase", report)
+    write_bench("ablation_hbase", runs)
 
     # Horn 1: with major compactions running, the whole-store rewrites
     # invalidate the hot set — point-read hit ratio below LSbM's.

@@ -20,7 +20,7 @@ from repro.lsm.blsm import BLSMTree
 from repro.sim.report import ascii_table
 from repro.storage.disk import SimulatedDisk
 
-from .common import once, write_report
+from .common import once, write_bench, write_report
 
 SIZE_RATIOS = (4, 10)
 PAIRS = 20_000
@@ -61,6 +61,10 @@ def test_ablation_size_ratio(benchmark):
         ]
     )
     write_report("ablation_size_ratio", report)
+    write_bench(
+        "ablation_size_ratio",
+        scalars={f"write_amp_r{r}": measured[r] for r in SIZE_RATIOS},
+    )
 
     for r in SIZE_RATIOS:
         model = write_amplification(r, config.num_disk_levels)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import once, run_cached, write_report
+from .common import once, run_cached, write_bench, write_report
 
 THRESHOLDS = (0.2, 0.8, 1.0)
 DURATION = 6000
@@ -49,6 +49,7 @@ def test_ablation_trim_threshold(benchmark):
         ]
     )
     write_report("ablation_trim_threshold", report)
+    write_bench("ablation_trim_threshold", runs)
 
     # Stricter trimming keeps less data in the compaction buffer.
     assert (

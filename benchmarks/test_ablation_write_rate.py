@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import bench_config, once, run_cached, write_report
+from .common import bench_config, once, run_cached, write_bench, write_report
 
 MULTIPLIERS = (0.5, 1.0, 2.0)
 DURATION = 6000
@@ -69,6 +69,7 @@ def test_ablation_write_rate(benchmark):
         ]
     )
     write_report("ablation_write_rate", report)
+    write_bench("ablation_write_rate", runs)
 
     # More writes hurt everyone's reads…
     assert (

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import once, run_cached, write_report
+from .common import once, run_cached, write_bench, write_report
 
 ENGINES = ("leveldb", "blsm", "lsbm")
 DURATION = 6000
@@ -53,6 +53,7 @@ def test_ablation_write_stalls(benchmark):
         ]
     )
     write_report("ablation_write_stalls", report)
+    write_bench("ablation_write_stalls", runs)
 
     # All engines move the same data volume, so mean utilization is in
     # the same band…

@@ -19,7 +19,7 @@ from repro.config import SystemConfig
 from repro.sim.experiment import run_experiment
 from repro.sim.report import ascii_table
 
-from .common import BENCH_SCALE, BENCH_SEED, once, write_report
+from .common import BENCH_SCALE, BENCH_SEED, once, timed, write_bench, write_report
 
 DURATION = 6000
 
@@ -31,8 +31,10 @@ def _sweep():
         ("ssd", SystemConfig.ssd_scaled(BENCH_SCALE)),
     ):
         for engine in ("blsm", "lsbm"):
-            runs[(medium, engine)] = run_experiment(
-                engine, config, duration_s=DURATION, seed=BENCH_SEED
+            runs[(medium, engine)] = timed(
+                lambda: run_experiment(
+                    engine, config, duration_s=DURATION, seed=BENCH_SEED
+                )
             )
     return runs
 
@@ -74,6 +76,7 @@ def test_extension_ssd(benchmark):
         ]
     )
     write_report("extension_ssd", report)
+    write_bench("extension_ssd", runs)
 
     # Cheap random reads lift everyone…
     assert (

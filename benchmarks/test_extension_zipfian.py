@@ -24,7 +24,7 @@ from repro.sim.experiment import build_engine, preload
 from repro.sim.report import ascii_table
 from repro.workload.zipf_reads import ZipfianReadWorkload
 
-from .common import bench_config, once, write_report
+from .common import bench_config, once, timed, write_bench, write_report
 
 DURATION = 8000
 #: Multi-block files for the trim-dilution measurement: a file must be
@@ -40,7 +40,7 @@ def _run(engine_name: str, spatial: bool, **config_overrides):
     driver = MixedReadWriteDriver(
         setup.engine, config, setup.clock, workload=workload, seed=1
     )
-    result = driver.run(DURATION)
+    result = timed(lambda: driver.run(DURATION))
     buffer_kb = setup.engine.compaction_buffer_kb or 0
     return result, buffer_kb
 
@@ -94,6 +94,14 @@ def test_extension_zipfian(benchmark):
         ]
     )
     write_report("extension_zipfian", report)
+    write_bench(
+        "extension_zipfian",
+        {key: result for key, (result, _) in runs.items()},
+        scalars={
+            f"dilution_buffer_kb_{skew}": float(dilution_buffer[skew])
+            for skew in ("rangehot", "zipfian")
+        },
+    )
 
     # Scattered skew compresses the advantage…
     assert advantage["zipfian"] < advantage["rangehot"]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, series_block
 
-from .common import once, run_cached, write_report
+from .common import once, run_cached, write_bench, write_report
 
 
 def test_fig02_os_and_db_cache_churn(benchmark):
@@ -54,6 +54,10 @@ def test_fig02_os_and_db_cache_churn(benchmark):
         ]
     )
     write_report("fig02_cache_inability", report)
+    write_bench(
+        "fig02_cache_inability",
+        {"leveldb-oscache": os_run, "leveldb": db_run},
+    )
 
     # Shape assertions: neither cache sustains a near-perfect hit ratio;
     # both series keep dipping (compaction churn), i.e. the minimum over

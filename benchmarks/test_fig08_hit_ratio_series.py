@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, series_block
 
-from .common import once, run_cached, write_report
+from .common import once, run_cached, write_bench, write_report
 
 ENGINES = ("blsm", "leveldb", "blsm+warmup", "lsbm")
 
@@ -56,6 +56,7 @@ def test_fig08_hit_ratio_series(benchmark):
         ]
     )
     write_report("fig08_hit_ratio_series", report)
+    write_bench("fig08_hit_ratio_series", runs)
 
     lsbm, blsm = runs["lsbm"], runs["blsm"]
     # (d) beats (a) on both level and stability.

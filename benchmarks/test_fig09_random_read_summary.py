@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, format_qps
 
-from .common import once, run_cached, write_report
+from .common import once, run_cached, write_bench, write_report
 
 PAPER = {
     "blsm": (0.813, 2440),
@@ -57,6 +57,7 @@ def test_fig09_random_read_summary(benchmark):
         ]
     )
     write_report("fig09_random_read_summary", report)
+    write_bench("fig09_random_read_summary", runs)
 
     hit = {name: runs[name].mean_hit_ratio() for name in PAPER}
     qps = {name: runs[name].mean_throughput() for name in PAPER}

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, series_block
 
-from .common import once, run_cached, write_report
+from .common import once, run_cached, write_bench, write_report
 
 ENGINES = ("blsm", "blsm+kvcache", "sm", "lsbm")
 
@@ -52,6 +52,7 @@ def test_fig10_range_throughput_series(benchmark):
         ]
     )
     write_report("fig10_range_series", report)
+    write_bench("fig10_range_series", runs)
 
     qps = {name: runs[name].mean_throughput() for name in ENGINES}
     assert qps["lsbm"] == max(qps.values())

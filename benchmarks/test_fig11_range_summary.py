@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, format_qps
 
-from .common import once, run_cached, write_report
+from .common import once, run_cached, write_bench, write_report
 
 PAPER = {
     "blsm": 1066,
@@ -44,6 +44,7 @@ def test_fig11_range_summary(benchmark):
         ]
     )
     write_report("fig11_range_summary", report)
+    write_bench("fig11_range_summary", runs)
 
     qps = {name: runs[name].mean_throughput() for name in PAPER}
     assert qps["lsbm"] == max(qps.values())

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, series_block
 
-from .common import SIZE_DURATION, once, run_cached, write_report
+from .common import SIZE_DURATION, once, run_cached, write_bench, write_report
 
 ENGINES = ("blsm", "leveldb", "sm", "lsbm")
 
@@ -47,6 +47,7 @@ def test_fig12_db_size_series(benchmark):
         ]
     )
     write_report("fig12_db_size_series", report)
+    write_bench("fig12_db_size_series", runs)
 
     sm = runs["sm"].db_size_mb
     blsm = runs["blsm"].db_size_mb

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import SIZE_DURATION, once, run_cached, write_report
+from .common import SIZE_DURATION, once, run_cached, write_bench, write_report
 
 PAPER_MB = {
     "blsm": 32_465,
@@ -56,6 +56,7 @@ def test_fig13_db_size_summary(benchmark):
         ]
     )
     write_report("fig13_db_size_summary", report)
+    write_bench("fig13_db_size_summary", runs)
 
     # bLSM and LevelDB are the lean baselines, within a few percent.
     assert abs(measured["leveldb"] / baseline - 1) < 0.10

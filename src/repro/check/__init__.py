@@ -24,6 +24,7 @@ from repro.check.crash import (
 )
 from repro.check.differential import DifferentialReport, DifferentialRunner
 from repro.check.invariants import (
+    BandwidthAttributionChecker,
     CacheCoherenceChecker,
     InvariantChecker,
     LedgerChecker,
@@ -34,6 +35,7 @@ from repro.check.schedule import Op, ScheduleSpec, apply_op, generate_schedule
 
 __all__ = [
     "CRASH_POINTS",
+    "BandwidthAttributionChecker",
     "CacheCoherenceChecker",
     "CrashOutcome",
     "CrashRecoveryHarness",

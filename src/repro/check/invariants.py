@@ -13,7 +13,11 @@ differential runner sweeps periodically and once at the end):
   (no leaked extents, no double frees, no phantom files);
 * :class:`TrimBoundChecker` — after every trim pass, every file still
   in a trimmable position of the compaction buffer meets Algorithm 2's
-  cached-fraction threshold.
+  cached-fraction threshold;
+* :class:`BandwidthAttributionChecker` — the disk's per-cause traffic
+  buckets sum to exactly the ``DiskStats`` sequential totals, with
+  nothing left in the "unattributed" bucket (every KB of I/O names the
+  stream — flush, per-level compaction, WAL, query — that issued it).
 
 The OS page cache is deliberately exempt from coherence checking: it is
 keyed by physical address, the allocator never reuses addresses, and so
@@ -22,6 +26,8 @@ behaviour Fig. 2 depends on.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.check.reflect import live_files, unwrap
 from repro.obs.events import FileCreated, FileDiscarded, TrimRun
@@ -191,6 +197,49 @@ class TrimBoundChecker(InvariantChecker):
                         )
 
 
+class BandwidthAttributionChecker(InvariantChecker):
+    """Per-cause disk traffic sum-reconciles with the DiskStats totals.
+
+    Every KB the disk counts in ``stats.seq_read_kb``/``seq_write_kb``
+    lands in exactly one cause bucket, so the buckets must sum back to
+    the totals; a gap means some code path records I/O outside
+    ``background_read``/``background_write``/``foreground_sequential_read``.
+    A nonzero "unattributed" bucket is also a violation: it means an
+    engine issues I/O without naming its stream, which would silently
+    corrupt the per-cause bandwidth breakdown the profiling layer reports.
+    """
+
+    name = "bandwidth-attribution"
+    #: Tolerance for float accumulation drift over millions of adds.
+    abs_tol_kb = 1e-6
+
+    def __init__(self, disk) -> None:
+        super().__init__()
+        self._disk = disk
+
+    def sweep(self) -> None:
+        stats = self._disk.stats
+        for kind, buckets, total in (
+            ("read", self._disk.cause_read_kb, stats.seq_read_kb),
+            ("write", self._disk.cause_write_kb, stats.seq_write_kb),
+        ):
+            self.checked += 1
+            attributed = sum(buckets.values())
+            if not math.isclose(
+                attributed, total, rel_tol=1e-9, abs_tol=self.abs_tol_kb
+            ):
+                self._violate(
+                    f"per-cause {kind} buckets sum to {attributed:.3f} KB "
+                    f"but DiskStats counts {total:.3f} KB"
+                )
+            self.checked += 1
+            loose = buckets.get("unattributed", 0.0)
+            if loose > self.abs_tol_kb:
+                self._violate(
+                    f"{loose:.3f} KB of {kind} traffic is unattributed"
+                )
+
+
 def attach_checkers(setup) -> dict[str, InvariantChecker]:
     """Wire the standard checkers onto a built engine.
 
@@ -205,6 +254,7 @@ def attach_checkers(setup) -> dict[str, InvariantChecker]:
         "trim-bound": TrimBoundChecker(
             setup.engine, setup.db_cache, setup.config, bus
         ),
+        "bandwidth-attribution": BandwidthAttributionChecker(disk),
     }
     if setup.db_cache is not None:
         checkers["cache-coherence"] = CacheCoherenceChecker(

@@ -18,6 +18,10 @@ Usage (installed or via ``python -m repro.cli``):
     # record every engine event as a JSONL trace
     python -m repro.cli trace --engine lsbm --out trace.jsonl
 
+    # causal profiling report: span traces, per-cause disk bandwidth,
+    # event-annotated hit-ratio curve, dip diagnosis
+    python -m repro.cli report --engine leveldb --duration 8000
+
     # differential correctness harness (JSON verdict, exit 0 iff green)
     python -m repro.cli check --seed 0 --ops 20000 --engines all
 
@@ -33,9 +37,15 @@ import sys
 from pathlib import Path
 
 from repro.config import SystemConfig
-from repro.sim.experiment import ENGINE_NAMES, run_experiment
+from repro.sim.experiment import ENGINE_NAMES, run_experiment, run_profiled
 from repro.sim.metrics import RunResult
-from repro.sim.report import ascii_table, format_qps, series_block
+from repro.sim.report import (
+    ascii_table,
+    format_qps,
+    mark_line,
+    series_block,
+    sparkline,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -156,6 +166,102 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Span stages summarized by ``repro report`` (field -> printed label).
+_SPAN_STAGES = (
+    ("cpu_s", "cpu"),
+    ("bloom_s", "bloom"),
+    ("db_cache_s", "db cache"),
+    ("os_cache_s", "os cache"),
+    ("disk_random_s", "disk random"),
+    ("disk_seq_s", "disk seq"),
+)
+
+
+def _span_summary(records: list[dict]) -> dict[str, object]:
+    """Mean per-stage time over a trace's sampled ReadSpan records."""
+    spans = [r for r in records if r.get("event") == "ReadSpan"]
+    summary: dict[str, object] = {"count": len(spans)}
+    if not spans:
+        return summary
+    for field, _label in _SPAN_STAGES + (("total_s", "total"),):
+        summary[f"mean_{field}"] = sum(s[field] for s in spans) / len(spans)
+    return summary
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Profiled run: spans + per-cause bandwidth + dip diagnosis."""
+    from repro.obs.diagnose import diagnose_dips, format_dip_report
+
+    config = SystemConfig.paper_scaled(args.scale)
+    print(
+        f"profiling {args.engine} at 1/{args.scale} scale for "
+        f"{args.duration} virtual seconds "
+        f"(one span per {args.sample_every} reads)",
+        file=sys.stderr,
+    )
+    result, recorder = run_profiled(
+        args.engine,
+        config,
+        duration_s=args.duration,
+        seed=args.seed,
+        scan_mode=args.scan,
+        sample_every=args.sample_every,
+        trace_path=args.trace_out,
+    )
+    diagnosis = diagnose_dips(
+        result.hit_ratio, recorder.records, threshold=args.dip_threshold
+    )
+    spans = _span_summary(recorder.records)
+
+    if args.json:
+        payload = result.to_json_dict()
+        payload["dip_diagnosis"] = diagnosis.to_json_dict()
+        payload["span_summary"] = spans
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(ascii_table(_HEADERS, [_summary_row(args.engine, result)]))
+    print()
+    print(f"hit ratio (^ marks a dip below {args.dip_threshold:g})")
+    print("  " + sparkline(result.hit_ratio))
+    marks = [d.dip.time for d in diagnosis.diagnoses]
+    if marks:
+        print("  " + mark_line(result.hit_ratio, marks))
+    print(format_dip_report(diagnosis))
+    print()
+    print("disk bandwidth by cause")
+    totals = result.bandwidth_kb_by_cause
+    grand = sum(t["read_kb"] + t["write_kb"] for t in totals.values()) or 1.0
+    rows = [
+        [
+            cause,
+            f"{t['read_kb']:,.0f}",
+            f"{t['write_kb']:,.0f}",
+            f"{(t['read_kb'] + t['write_kb']) / grand:.1%}",
+        ]
+        for cause, t in sorted(
+            totals.items(),
+            key=lambda item: -(item[1]["read_kb"] + item[1]["write_kb"]),
+        )
+    ]
+    print(ascii_table(["cause", "read KB", "write KB", "share"], rows))
+    print()
+    if spans["count"]:
+        print(f"read-path spans ({spans['count']} sampled)")
+        stage_rows = [
+            [label, f"{spans[f'mean_{field}'] * 1000:.3f}"]
+            for field, label in _SPAN_STAGES
+        ]
+        stage_rows.append(["total", f"{spans['mean_total_s'] * 1000:.3f}"])
+        print(ascii_table(["stage", "mean ms"], stage_rows))
+    else:
+        print("read-path spans: none sampled (raise duration or lower "
+              "--sample-every)")
+    if args.trace_out:
+        print(f"\ntrace written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Differential harness over one seed; prints a JSON verdict."""
     from repro.check.crash import CrashRecoveryHarness
@@ -247,6 +353,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(trace)
     trace.set_defaults(func=cmd_trace)
+
+    report = commands.add_parser(
+        "report",
+        help="profiled run: spans, per-cause bandwidth, dip diagnosis",
+    )
+    report.add_argument("--engine", required=True, choices=ENGINE_NAMES)
+    report.add_argument(
+        "--sample-every",
+        type=int,
+        default=32,
+        help="emit one read span per this many reads (default 32)",
+    )
+    report.add_argument(
+        "--dip-threshold",
+        type=float,
+        default=0.7,
+        help="hit-ratio threshold whose downward crossings are diagnosed",
+    )
+    report.add_argument(
+        "--trace-out", help="also write the full JSONL trace to this path"
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of tables",
+    )
+    _add_common(report)
+    report.set_defaults(func=cmd_report)
 
     check = commands.add_parser(
         "check",

@@ -107,6 +107,12 @@ class LSbMTree(BLSMTree):
             _RoundAccounting() for _ in range(self.num_levels + 1)
         ]
         self.lsbm_stats = LSbMStats()
+        # Buffer appends and trim removals move no data — the paper's
+        # "no additional I/O" claim.  Registering them as zero-I/O causes
+        # makes per-cause bandwidth reports state that explicitly (0 KB)
+        # instead of omitting the rows.
+        self.disk.record_cause("buffer-append")
+        self.disk.record_cause("trim")
         self.trim = TrimProcess(
             self.config,
             cached_blocks=self._cached_blocks_of,

@@ -44,6 +44,15 @@ from repro.sstable.superfile import SuperFileIdSource
 from repro.substrate import Substrate
 
 
+def compaction_cause(level: int) -> str:
+    """The bandwidth-attribution cause of a compaction at ``level``.
+
+    ``compaction:L2`` for a source level, bare ``compaction`` when the
+    engine has no levels (flat stores pass -1).
+    """
+    return f"compaction:L{level}" if level >= 0 else "compaction"
+
+
 @dataclass
 class ReadCost:
     """The I/O shape of one query (the driver prices it)."""
@@ -451,9 +460,10 @@ class LSMEngine(ABC):
             sources, drop_tombstones=last_level
         )
 
-        self._charge_compaction_read(source_files + overlapping)
+        cause = compaction_cause(level)
+        self._charge_compaction_read(source_files + overlapping, cause=cause)
 
-        new_files = self.builder.build(iter(merged))
+        new_files = self.builder.build(iter(merged), cause=cause)
         self._on_compaction_output(new_files)
         write_kb = float(sum(f.size_kb for f in new_files))
 
@@ -511,9 +521,11 @@ class LSMEngine(ABC):
             for file in new_files:
                 self.os_cache.write_allocate(file.extent.start, file.size_kb)
 
-    def _charge_compaction_read(self, files: list[SSTableFile]) -> None:
+    def _charge_compaction_read(
+        self, files: list[SSTableFile], cause: str = "unattributed"
+    ) -> None:
         for file in files:
-            self.disk.background_read(file.size_kb)
+            self.disk.background_read(file.size_kb, cause=cause)
             if self.os_cache is not None:
                 self.os_cache.read_for_compaction(file.extent.start, file.size_kb)
 
@@ -538,7 +550,7 @@ class LSMEngine(ABC):
         durable.
         """
         entries = self.memtable.sorted_entries()
-        files = self.builder.build(iter(entries))
+        files = self.builder.build(iter(entries), cause="flush")
         self._on_compaction_output(files)
         self.memtable.clear()
         if self.wal is not None and entries:

@@ -122,7 +122,7 @@ class LevelDBTree(LSMEngine):
     # ------------------------------------------------------------------
     def bulk_load(self, entries: list[Entry]) -> None:
         """Preload sorted unique entries directly into the last level."""
-        files = self.builder.build(iter(entries))
+        files = self.builder.build(iter(entries), cause="preload")
         for file in files:
             self.levels[self.num_levels].append(file)
         self._seq = max(self._seq, max((e.seq for e in entries), default=0))

@@ -19,7 +19,13 @@ paper shows the two prices paid:
 
 from __future__ import annotations
 
-from repro.lsm.base import GetResult, LSMEngine, ReadCost, ScanResult
+from repro.lsm.base import (
+    GetResult,
+    LSMEngine,
+    ReadCost,
+    ScanResult,
+    compaction_cause,
+)
 from repro.obs.events import CompactionEnd, CompactionStart
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries, merge_with_obsolete_count
@@ -98,8 +104,9 @@ class SMTree(LSMEngine):
             )
         merged, obsolete = merge_with_obsolete_count(sources, drop_tombstones=drop)
 
-        self._charge_compaction_read(input_files)
-        new_files = self.builder.build(iter(merged))
+        cause = compaction_cause(level)
+        self._charge_compaction_read(input_files, cause=cause)
+        new_files = self.builder.build(iter(merged), cause=cause)
         self._on_compaction_output(new_files)
         output_kb = float(sum(f.size_kb for f in new_files))
         # Inputs and output coexist until the install completes; this is
@@ -163,6 +170,6 @@ class SMTree(LSMEngine):
     # Bulk loading.
     # ------------------------------------------------------------------
     def bulk_load(self, entries: list[Entry]) -> None:
-        files = self.builder.build(iter(entries))
+        files = self.builder.build(iter(entries), cause="preload")
         self.levels[self.num_levels].append(SortedTable(files))
         self._seq = max(self._seq, max((e.seq for e in entries), default=0))

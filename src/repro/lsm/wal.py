@@ -58,7 +58,7 @@ class WriteAheadLog:
         self._records.append(LogRecord(key, seq, kind))
         # A log append is a small sequential write (group commit amortizes
         # the seek, so charge transfer only).
-        self._disk.background_write(self._pair_size_kb, seeks=0)
+        self._disk.background_write(self._pair_size_kb, seeks=0, cause="wal")
         self.bytes_logged_kb += self._pair_size_kb
         if self.fault_hook is not None:
             self.fault_hook("wal.append.after")

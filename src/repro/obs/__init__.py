@@ -8,9 +8,20 @@ Three pieces, used together by :class:`~repro.substrate.Substrate`:
   engine events (flushes, compactions, file lifecycle, cache
   invalidations, trim runs, buffer freezes);
 * :mod:`repro.obs.trace` — a :class:`TraceRecorder` exporting the event
-  stream as a replayable, diffable JSONL log.
+  stream as a replayable, diffable JSONL log;
+* :mod:`repro.obs.prof` — a :class:`SpanProfiler` sampling per-read span
+  traces into the event stream, with a zero-cost disabled path;
+* :mod:`repro.obs.diagnose` — dip diagnosis, attributing hit-ratio dips
+  to the causal events in their windows.
 """
 
+from repro.obs.diagnose import (
+    DipDiagnosis,
+    DipReport,
+    diagnose_dips,
+    find_dips,
+    format_dip_report,
+)
 from repro.obs.events import (
     BufferFrozen,
     BufferUnfrozen,
@@ -23,6 +34,7 @@ from repro.obs.events import (
     FileCreated,
     FileDiscarded,
     FlushDone,
+    ReadSpan,
     TrimRun,
 )
 from repro.obs.metrics import (
@@ -31,10 +43,13 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Reservoir,
 )
+from repro.obs.prof import NULL_PROFILER, SpanProfiler
 from repro.obs.trace import TraceRecorder, read_jsonl
 
 __all__ = [
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "BufferFrozen",
     "BufferUnfrozen",
@@ -42,6 +57,8 @@ __all__ = [
     "CompactionEnd",
     "CompactionStart",
     "Counter",
+    "DipDiagnosis",
+    "DipReport",
     "Event",
     "EventBus",
     "EventTally",
@@ -51,7 +68,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ReadSpan",
+    "Reservoir",
+    "SpanProfiler",
     "TraceRecorder",
     "TrimRun",
+    "diagnose_dips",
+    "find_dips",
+    "format_dip_report",
     "read_jsonl",
 ]

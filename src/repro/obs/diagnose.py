@@ -1,0 +1,234 @@
+"""Dip diagnosis: attribute hit-ratio dips to the events that caused them.
+
+The paper's Fig. 2/8 narrative is causal — compaction-induced cache
+invalidation *causes* the periodic hit-ratio dips — but a sampled series
+alone only shows the dips.  This module closes the loop: given a
+hit-ratio :class:`~repro.sim.metrics.TimeSeries` and the event records of
+the same run (live ``TraceRecorder.records`` or a loaded JSONL trace),
+:func:`diagnose_dips` finds every downward crossing of the threshold
+(exactly the crossings ``TimeSeries.dips_below`` counts, the metric
+EXPERIMENTS.md reports) and searches a causal window before each one for
+the events that can explain it: ``CacheInvalidated``, ``CompactionEnd``,
+``TrimRun`` and ``BufferFrozen``.
+
+The result is a :class:`DipReport` — fraction of dips explained, cause
+tallies, top offending levels — which turns "the dips line up with
+compactions" from a plotted impression into an asserted, quantified
+artifact (the Fig. 8 acceptance test requires >= 80% attribution for the
+LevelDB run).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # repro.sim imports repro.obs — keep this one-way.
+    from repro.sim.metrics import TimeSeries
+
+#: Event types that can causally explain a hit-ratio dip.
+CAUSAL_EVENT_TYPES = (
+    "CacheInvalidated",
+    "CompactionEnd",
+    "TrimRun",
+    "BufferFrozen",
+)
+
+#: How many example events each diagnosis transcribes (tallies stay full).
+_MAX_RECORDED_EVENTS = 8
+
+
+@dataclass(frozen=True)
+class Dip:
+    """One downward crossing of the threshold: (sample time, value)."""
+
+    time: int
+    value: float
+
+
+def find_dips(
+    series: TimeSeries, threshold: float, skip: int = 0
+) -> list[Dip]:
+    """The downward crossings of ``threshold`` with their sample times.
+
+    Same crossing semantics as :meth:`TimeSeries.dips_below` (which only
+    counts them), after skipping ``skip`` warm-up samples.
+    """
+    dips: list[Dip] = []
+    above: bool | None = None
+    for time, value in zip(series.times[skip:], series.values[skip:]):
+        is_above = value >= threshold
+        if above is True and not is_above:
+            dips.append(Dip(time, value))
+        above = is_above
+    return dips
+
+
+@dataclass
+class DipDiagnosis:
+    """One dip with the causal events found in its window."""
+
+    dip: Dip
+    window_start: int
+    #: Events-per-type tally over the full window.
+    cause_counts: dict[str, int] = field(default_factory=dict)
+    #: Compaction/freeze events per source level over the full window.
+    level_counts: dict[int, int] = field(default_factory=dict)
+    #: A bounded transcript of the window's causal events.
+    examples: list[dict] = field(default_factory=list)
+
+    @property
+    def explained(self) -> bool:
+        return bool(self.cause_counts)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "time": self.dip.time,
+            "value": self.dip.value,
+            "window_start": self.window_start,
+            "explained": self.explained,
+            "cause_counts": dict(self.cause_counts),
+            "level_counts": {
+                str(level): count for level, count in self.level_counts.items()
+            },
+            "examples": list(self.examples),
+        }
+
+
+@dataclass
+class DipReport:
+    """The run-level attribution summary ``diagnose_dips`` produces."""
+
+    threshold: float
+    window_s: int
+    diagnoses: list[DipDiagnosis] = field(default_factory=list)
+
+    @property
+    def total_dips(self) -> int:
+        return len(self.diagnoses)
+
+    @property
+    def explained_dips(self) -> int:
+        return sum(1 for d in self.diagnoses if d.explained)
+
+    @property
+    def fraction_explained(self) -> float:
+        """Attributed fraction; 1.0 for a dip-free (fully stable) series."""
+        if not self.diagnoses:
+            return 1.0
+        return self.explained_dips / self.total_dips
+
+    def cause_counts(self) -> dict[str, int]:
+        """Causal events per type, aggregated over every dip window."""
+        tally: Counter[str] = Counter()
+        for diagnosis in self.diagnoses:
+            tally.update(diagnosis.cause_counts)
+        return dict(tally)
+
+    def top_levels(self, n: int = 3) -> list[tuple[int, int]]:
+        """The levels whose compactions show up in the most dip windows.
+
+        Returns ``(level, event_count)`` pairs, worst offender first —
+        the "which level's compactions hurt the cache" answer.
+        """
+        tally: Counter[int] = Counter()
+        for diagnosis in self.diagnoses:
+            tally.update(diagnosis.level_counts)
+        return tally.most_common(n)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "window_s": self.window_s,
+            "total_dips": self.total_dips,
+            "explained_dips": self.explained_dips,
+            "fraction_explained": self.fraction_explained,
+            "cause_counts": self.cause_counts(),
+            "top_levels": [
+                {"level": level, "events": count}
+                for level, count in self.top_levels()
+            ],
+            "dips": [d.to_json_dict() for d in self.diagnoses],
+        }
+
+
+def diagnose_dips(
+    series: TimeSeries,
+    records: list[dict],
+    threshold: float = 0.7,
+    window_s: int | None = None,
+    skip: int = 0,
+) -> DipReport:
+    """Correlate each dip of ``series`` with the causal events before it.
+
+    ``records`` are timestamped event dicts (``{"t": ..., "event": ...}``)
+    — a live recorder's ``records`` list or a loaded JSONL trace.  A dip
+    sampled at ``t`` is searched over ``(t - window_s, t]``; the default
+    window is five sampling intervals of the series.  One interval covers
+    the dip sample's own miss-aggregation window; the rest cover the
+    re-warm tail — an invalidation's damage keeps surfacing for several
+    windows afterwards, as evicted hot keys are touched for the first
+    time since and miss, so a cache still refilling can re-cross the
+    threshold with no *fresh* event in the dip's immediate window.
+    """
+    if window_s is None:
+        times = series.times
+        spacing = times[1] - times[0] if len(times) >= 2 else 20
+        window_s = 5 * max(1, spacing)
+    causal = [
+        record
+        for record in records
+        if record.get("event") in CAUSAL_EVENT_TYPES
+    ]
+    causal_times = [int(record["t"]) for record in causal]
+
+    report = DipReport(threshold=threshold, window_s=window_s)
+    for dip in find_dips(series, threshold, skip=skip):
+        window_start = dip.time - window_s
+        lo = bisect_right(causal_times, window_start)
+        hi = bisect_right(causal_times, dip.time, lo=lo)
+        diagnosis = DipDiagnosis(dip=dip, window_start=window_start)
+        for record in causal[lo:hi]:
+            name = str(record["event"])
+            diagnosis.cause_counts[name] = (
+                diagnosis.cause_counts.get(name, 0) + 1
+            )
+            level = record.get("level")
+            if isinstance(level, int):
+                diagnosis.level_counts[level] = (
+                    diagnosis.level_counts.get(level, 0) + 1
+                )
+            if len(diagnosis.examples) < _MAX_RECORDED_EVENTS:
+                diagnosis.examples.append(dict(record))
+        report.diagnoses.append(diagnosis)
+    return report
+
+
+def format_dip_report(report: DipReport) -> str:
+    """Human-readable rendering of a :class:`DipReport`."""
+    lines = [
+        f"dip diagnosis (threshold {report.threshold:g}, "
+        f"window {report.window_s}s)",
+        f"  dips: {report.total_dips}  explained: {report.explained_dips}"
+        f"  ({report.fraction_explained:.0%})",
+    ]
+    causes = report.cause_counts()
+    if causes:
+        rendered = ", ".join(
+            f"{name}x{count}"
+            for name, count in sorted(
+                causes.items(), key=lambda item: -item[1]
+            )
+        )
+        lines.append(f"  causes in windows: {rendered}")
+    top = report.top_levels()
+    if top:
+        rendered = ", ".join(f"L{level} ({count})" for level, count in top)
+        lines.append(f"  top offending levels: {rendered}")
+    unexplained = [d for d in report.diagnoses if not d.explained]
+    if unexplained:
+        times = ", ".join(f"t={d.dip.time}" for d in unexplained[:10])
+        lines.append(f"  unexplained dips: {times}")
+    return "\n".join(lines)

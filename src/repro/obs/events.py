@@ -21,6 +21,7 @@ event                     emitted when
 :class:`TrimRun`          LSbM's trim pass finished (Algorithm 2)
 :class:`BufferFrozen`     a compaction-buffer level froze (repeated data)
 :class:`BufferUnfrozen`   a frozen level rotated and resumed buffering
+:class:`ReadSpan`         the span profiler sampled one read's path
 ========================= ==================================================
 
 The file events form a *ledger*: every ``FileCreated`` must eventually be
@@ -129,6 +130,39 @@ class BufferUnfrozen:
     level: int
 
 
+@dataclass(frozen=True, slots=True)
+class ReadSpan:
+    """One sampled read's span over the read path (see ``repro.obs.prof``).
+
+    The ``*_s`` fields are modeled per-real-read virtual-time durations,
+    decomposed stage by stage exactly as the driver prices the read:
+    memtable/CPU work, Bloom probes, DB-cache block hits, OS-page-cache
+    hits, random disk blocks, sequential runs.  ``total_s`` is their sum.
+    The counters carry the read's shape (how many tables were checked per
+    level descent, how many blocks hit which cache), so a trace can say
+    *where* a slow read spent its time.
+    """
+
+    op: str
+    sample_index: int
+    total_s: float
+    cpu_s: float
+    bloom_s: float
+    db_cache_s: float
+    os_cache_s: float
+    disk_random_s: float
+    disk_seq_s: float
+    memtable_probes: int
+    index_probes: int
+    bloom_probes: int
+    tables_checked: int
+    db_hit_blocks: int
+    os_hit_blocks: int
+    disk_blocks: int
+    seq_kb: float
+    utilization: float
+
+
 #: Union of every event type, for subscribers that want static typing.
 Event = (
     FlushDone
@@ -140,6 +174,7 @@ Event = (
     | TrimRun
     | BufferFrozen
     | BufferUnfrozen
+    | ReadSpan
 )
 
 Handler = Callable[[Event], None]

@@ -18,7 +18,8 @@ Instruments come in three types, mirroring the usual registries
 
 * :class:`Counter` — monotonically increasing float;
 * :class:`Gauge` — a settable point-in-time value;
-* :class:`Histogram` — count/sum/min/max of observations.
+* :class:`Histogram` — count/sum/min/max plus reservoir-sampled
+  percentiles of observations.
 
 A disabled registry (``MetricsRegistry(enabled=False)``, or the shared
 :data:`NULL_REGISTRY`) hands out shared no-op instruments and records
@@ -27,6 +28,74 @@ allocation when observability is off.
 """
 
 from __future__ import annotations
+
+import random
+
+
+class Reservoir:
+    """Uniform fixed-size sample of a value stream (Vitter's Algorithm R).
+
+    The first ``capacity`` observations fill the reservoir, after which
+    observation ``n`` replaces a random slot with probability
+    ``capacity / n`` — every observation ends up retained with equal
+    probability, so percentiles over the reservoir estimate the stream's
+    percentiles without holding the stream.  This is the single sampling
+    implementation shared by :class:`Histogram` and the driver's latency
+    reservoir (``repro.sim.metrics.LatencyReservoir`` is an alias).
+
+    ``len()`` reports the number of values *observed* (the stream length),
+    not the number retained; iteration yields the retained sample.  The
+    RNG is privately seeded, so a reservoir's retained sample is a
+    deterministic function of the stream.
+    """
+
+    __slots__ = ("capacity", "count", "_rng", "_samples")
+
+    def __init__(self, capacity: int = 8192, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._samples: list[float] = []
+        self.count = 0
+
+    def append(self, value: float) -> None:
+        """Observe one value (list-compatible name for the drivers)."""
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    add = append
+
+    @property
+    def samples(self) -> list[float]:
+        """A copy of the retained sample (at most ``capacity`` values)."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    def percentile(self, percentile: float) -> float:
+        """Estimated stream percentile (e.g. 50, 99) from the sample."""
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {percentile}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(
+            len(ordered) - 1, max(0, round(percentile / 100 * (len(ordered) - 1)))
+        )
+        return ordered[rank]
 
 
 class Counter:
@@ -57,10 +126,21 @@ class Gauge:
         self.value = float(value)
 
 
-class Histogram:
-    """Aggregate statistics (count/sum/min/max) of a stream of observations."""
+#: Retained sample size of one histogram — smaller than the driver's
+#: latency reservoir (a registry may hold many histograms).
+_HISTOGRAM_RESERVOIR_CAPACITY = 1024
 
-    __slots__ = ("name", "count", "total", "min", "max")
+
+class Histogram:
+    """Aggregate statistics of a stream of observations.
+
+    Tracks count/sum/min/max exactly and holds a bounded
+    :class:`Reservoir` for percentile estimates (p50/p95/p99 in
+    snapshots), so a histogram's memory stays constant regardless of
+    stream length.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "reservoir")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -68,6 +148,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.reservoir = Reservoir(_HISTOGRAM_RESERVOIR_CAPACITY)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -76,10 +157,15 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self.reservoir.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, percentile: float) -> float:
+        """Estimated stream percentile (e.g. 50, 99) from the reservoir."""
+        return self.reservoir.percentile(percentile)
 
 
 class _NullCounter(Counter):
@@ -158,8 +244,9 @@ class MetricsRegistry:
         """Every instrument's current value, keyed by name.
 
         Counters and gauges flatten to a float; histograms become a
-        ``{count, sum, min, max, mean}`` dict (empty histograms report
-        zeroed bounds so the snapshot stays JSON-friendly).
+        ``{count, sum, min, max, mean, p50, p95, p99}`` dict (empty
+        histograms report zeroed bounds so the snapshot stays
+        JSON-friendly).
         """
         out: dict[str, float | dict[str, float]] = {}
         for name, instrument in self._instruments.items():
@@ -171,6 +258,9 @@ class MetricsRegistry:
                     "min": 0.0 if empty else instrument.min,
                     "max": 0.0 if empty else instrument.max,
                     "mean": instrument.mean,
+                    "p50": instrument.percentile(50),
+                    "p95": instrument.percentile(95),
+                    "p99": instrument.percentile(99),
                 }
             else:
                 out[name] = instrument.value

@@ -1,0 +1,151 @@
+"""Read-path span profiling: sampled per-read traces with durations.
+
+The driver prices every read from its :class:`~repro.lsm.base.ReadCost`,
+but a priced total cannot say *where* a slow read spent its time — in
+Bloom probes, in the cache hierarchy, or queued behind compaction I/O on
+the disk.  :class:`SpanProfiler` closes that gap: every ``sample_every``-th
+read is decomposed, stage by stage and with the exact arithmetic of
+:meth:`~repro.sim.driver.MixedReadWriteDriver.price_read`, into a
+:class:`~repro.obs.events.ReadSpan` event carrying per-stage virtual-time
+durations (memtable/CPU → Bloom → DB cache → OS cache → random disk →
+sequential runs) plus the read's shape counters.  Spans travel the normal
+event bus, so the existing :class:`~repro.obs.trace.TraceRecorder` writes
+them into the same JSONL trace as compactions and invalidations — a dip
+and the reads that suffered it end up on one timeline.
+
+Mirroring :data:`~repro.obs.metrics.NULL_REGISTRY`, the shared
+:data:`NULL_PROFILER` is permanently disabled: ``record_read`` returns
+immediately, emitting no events, touching no counters and allocating
+nothing, so the driver hook is free when nobody profiles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.obs.events import EventBus, ReadSpan
+from repro.storage.iomodel import IOCostModel
+
+if TYPE_CHECKING:  # repro.lsm.base imports repro.obs — keep this one-way.
+    from repro.lsm.base import ReadCost
+
+#: Default sampling period: one span per this many reads.
+DEFAULT_SAMPLE_EVERY = 32
+
+
+class SpanProfiler:
+    """Samples reads into :class:`~repro.obs.events.ReadSpan` events."""
+
+    __slots__ = (
+        "enabled",
+        "sample_every",
+        "reads_seen",
+        "spans_emitted",
+        "_bus",
+        "_config",
+        "_cost_model",
+    )
+
+    def __init__(
+        self,
+        bus: EventBus | None = None,
+        config: SystemConfig | None = None,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+        enabled: bool = True,
+    ) -> None:
+        if enabled and (bus is None or config is None):
+            raise ValueError("an enabled SpanProfiler needs a bus and a config")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.enabled = enabled
+        self.sample_every = sample_every
+        self.reads_seen = 0
+        self.spans_emitted = 0
+        self._bus = bus
+        self._config = config
+        self._cost_model = IOCostModel(config) if config is not None else None
+
+    def record_read(
+        self,
+        cost: ReadCost,
+        utilization: float,
+        pairs_returned: int = 0,
+        is_scan: bool = False,
+    ) -> None:
+        """Observe one completed read; emit a span if it is sampled."""
+        if not self.enabled:
+            return
+        self.reads_seen += 1
+        if self.reads_seen % self.sample_every:
+            return
+        span = self.decompose(
+            cost,
+            utilization,
+            pairs_returned=pairs_returned,
+            is_scan=is_scan,
+            sample_index=self.reads_seen,
+        )
+        self.spans_emitted += 1
+        self._bus.emit(span)
+
+    def decompose(
+        self,
+        cost: ReadCost,
+        utilization: float,
+        pairs_returned: int = 0,
+        is_scan: bool = False,
+        sample_index: int = 0,
+    ) -> ReadSpan:
+        """Split one read's modeled time into per-stage durations.
+
+        The stage sum equals the driver's priced per-real-read latency
+        (``price_read / ops_scale``) exactly — asserted by the profiler
+        tests — so span traces reconcile with the latency reservoir.
+        """
+        config = self._config
+        model = self._cost_model
+        cpu_s = config.cache_hit_s + pairs_returned * config.scan_pair_cpu_s
+        if is_scan:
+            cpu_s += cost.tables_checked * config.scan_table_cpu_s
+        bloom_s = model.bloom_probe_s(cost.bloom_probes)
+        db_cache_s = cost.cache_hit_blocks * config.block_hit_s
+        os_cache_s = cost.os_hit_blocks * config.os_hit_s
+        disk_random_s = 0.0
+        if cost.disk_random_blocks:
+            disk_random_s = model.random_read_s(
+                cost.disk_random_blocks, utilization
+            )
+        disk_seq_s = 0.0
+        if cost.seq_runs or cost.seq_kb:
+            disk_seq_s = model.sequential_s(
+                cost.seq_kb, seeks=cost.seq_runs, utilization=utilization
+            )
+        total_s = (
+            cpu_s + bloom_s + db_cache_s + os_cache_s + disk_random_s + disk_seq_s
+        )
+        return ReadSpan(
+            op="scan" if is_scan else "get",
+            sample_index=sample_index,
+            total_s=total_s,
+            cpu_s=cpu_s,
+            bloom_s=bloom_s,
+            db_cache_s=db_cache_s,
+            os_cache_s=os_cache_s,
+            disk_random_s=disk_random_s,
+            disk_seq_s=disk_seq_s,
+            memtable_probes=cost.memtable_probes,
+            index_probes=cost.index_probes,
+            bloom_probes=cost.bloom_probes,
+            tables_checked=cost.tables_checked,
+            db_hit_blocks=cost.cache_hit_blocks,
+            os_hit_blocks=cost.os_hit_blocks,
+            disk_blocks=cost.disk_random_blocks,
+            seq_kb=cost.seq_kb,
+            utilization=utilization,
+        )
+
+
+#: Shared disabled profiler: the driver binds to this when nobody asked
+#: for spans, making the per-read hook one attribute check and a return.
+NULL_PROFILER = SpanProfiler(enabled=False)

@@ -8,9 +8,10 @@ from repro.sim.experiment import (
     build_engine,
     preload,
     run_experiment,
+    run_profiled,
 )
 from repro.sim.metrics import RunResult, TimeSeries
-from repro.sim.report import ascii_table, series_block, sparkline
+from repro.sim.report import ascii_table, mark_line, series_block, sparkline
 
 __all__ = [
     "ENGINE_NAMES",
@@ -21,8 +22,10 @@ __all__ = [
     "VirtualClock",
     "ascii_table",
     "build_engine",
+    "mark_line",
     "preload",
     "run_experiment",
+    "run_profiled",
     "series_block",
     "sparkline",
 ]

@@ -28,7 +28,8 @@ from repro.config import SystemConfig
 from repro.lsm.base import ReadCost
 from repro.clock import VirtualClock
 from repro.obs.events import EventTally
-from repro.sim.metrics import RunResult
+from repro.obs.prof import NULL_PROFILER, SpanProfiler
+from repro.sim.metrics import RunResult, TimeSeries
 from repro.storage.iomodel import IOCostModel
 from repro.workload.ycsb import RangeHotWorkload
 
@@ -49,12 +50,16 @@ class MixedReadWriteDriver:
         seed: int = 0,
         scan_mode: bool = False,
         metric_cache=None,
+        profiler: SpanProfiler | None = None,
     ) -> None:
         """``scan_mode`` switches readers from point reads (Fig. 8/9) to
         the paper's 100 KB range queries (Fig. 10/11).  ``metric_cache``
         is the cache whose hit ratio forms the reported series; defaults
         to the engine's own :attr:`~repro.lsm.base.LSMEngine.metric_cache`
-        choice (DB cache, falling back to the OS cache)."""
+        choice (DB cache, falling back to the OS cache).  ``profiler``
+        receives every completed read for span sampling; it defaults to
+        the shared disabled :data:`~repro.obs.prof.NULL_PROFILER`, whose
+        hook costs one attribute check."""
         self.engine = engine
         self.config = config
         self.clock = clock
@@ -65,11 +70,14 @@ class MixedReadWriteDriver:
         self.metric_cache = (
             metric_cache if metric_cache is not None else engine.metric_cache
         )
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         #: Counts every event the engine publishes while this driver owns
         #: it; each run reports the delta over its own window.
         self.event_tally = EventTally(engine.bus)
         self._write_credit = 0.0
         self._read_debt = 0.0
+        self._bw_last: dict[str, dict[str, float]] = {}
+        self._bw_last_tick = 0
         self._last_cache_stats: CacheStats | None = None
         self._last_hit_sample_tick: int | None = None
         #: Hit-ratio points are computed over windows of this many ticks so
@@ -117,6 +125,9 @@ class MixedReadWriteDriver:
         duration = duration_s if duration_s is not None else self.config.duration_s
         result = RunResult(engine=self.engine.name, duration_s=duration)
         events_before = dict(self.event_tally.counts)
+        bw_baseline = self._snapshot_cause_totals()
+        self._bw_last = bw_baseline
+        self._bw_last_tick = self.clock.now
         for _ in range(duration):
             now = self.clock.now
             self._apply_writes(result)
@@ -131,7 +142,30 @@ class MixedReadWriteDriver:
             for name, count in self.event_tally.counts.items()
             if count - events_before.get(name, 0)
         }
+        result.bandwidth_kb_by_cause = self._cause_window(bw_baseline)
         return result
+
+    # ------------------------------------------------------------------
+    # Per-cause bandwidth bookkeeping.
+    # ------------------------------------------------------------------
+    def _snapshot_cause_totals(self) -> dict[str, dict[str, float]]:
+        return {
+            cause: dict(kinds)
+            for cause, kinds in self.engine.disk.cause_totals().items()
+        }
+
+    def _cause_window(
+        self, baseline: dict[str, dict[str, float]]
+    ) -> dict[str, dict[str, float]]:
+        """Per-cause read/write KB accumulated since ``baseline``."""
+        window: dict[str, dict[str, float]] = {}
+        for cause, kinds in self._snapshot_cause_totals().items():
+            before = baseline.get(cause, {"read_kb": 0.0, "write_kb": 0.0})
+            window[cause] = {
+                "read_kb": kinds["read_kb"] - before["read_kb"],
+                "write_kb": kinds["write_kb"] - before["write_kb"],
+            }
+        return window
 
     def _apply_writes(self, result: RunResult) -> None:
         self._write_credit += self.config.write_rate_pairs_per_s
@@ -158,6 +192,7 @@ class MixedReadWriteDriver:
                 got = self.engine.get(key)
                 cost, pairs = got.cost, 0
             priced = self.price_read(cost, pairs, utilization, self.scan_mode)
+            self.profiler.record_read(cost, utilization, pairs, self.scan_mode)
             budget -= priced
             result.read_latencies_s.append(priced / self.config.ops_scale)
             reads += 1
@@ -193,3 +228,23 @@ class MixedReadWriteDriver:
             result.buffer_size_mb.add(
                 now, buffer_kb * self.config.ops_scale / 1024.0
             )
+        # Per-cause disk bandwidth: combined read+write KB/s since the
+        # previous sample, in the same simulated-KB units as DiskStats.
+        totals = self._snapshot_cause_totals()
+        dt = max(1, now - self._bw_last_tick)
+        for cause, kinds in totals.items():
+            before = self._bw_last.get(cause, {"read_kb": 0.0, "write_kb": 0.0})
+            delta_kb = (
+                kinds["read_kb"]
+                - before["read_kb"]
+                + kinds["write_kb"]
+                - before["write_kb"]
+            )
+            series = result.bandwidth_by_cause.get(cause)
+            if series is None:
+                series = result.bandwidth_by_cause[cause] = TimeSeries(
+                    f"bandwidth.{cause}"
+                )
+            series.add(now, delta_kb / dt)
+        self._bw_last = totals
+        self._bw_last_tick = now

@@ -19,6 +19,7 @@ from repro.lsm.blsm import BLSMTree
 from repro.lsm.leveldb import LevelDBTree
 from repro.lsm.sm_tree import SMTree
 from repro.clock import VirtualClock
+from repro.obs.prof import DEFAULT_SAMPLE_EVERY, SpanProfiler
 from repro.obs.trace import TraceRecorder
 from repro.sim.driver import MixedReadWriteDriver
 from repro.sim.metrics import RunResult
@@ -148,6 +149,53 @@ def preload(setup: ExperimentSetup) -> None:
     setup.engine.bulk_load(entries)
 
 
+def _drive(
+    setup: ExperimentSetup,
+    duration_s: int | None,
+    seed: int,
+    scan_mode: bool,
+    do_preload: bool,
+    profiler: SpanProfiler | None = None,
+) -> RunResult:
+    """Preload (optionally) and drive one wired stack to a result.
+
+    Shared by :func:`run_experiment` and :func:`run_profiled`: the result
+    always carries the substrate registry's closing snapshot in
+    ``result.metrics``.
+    """
+    if do_preload:
+        preload(setup)
+    workload = RangeHotWorkload(setup.config)
+    driver = MixedReadWriteDriver(
+        setup.engine,
+        setup.config,
+        setup.clock,
+        workload=workload,
+        seed=seed,
+        scan_mode=scan_mode,
+        profiler=profiler,
+    )
+    result = driver.run(duration_s)
+    result.config_note = f"scale-adjusted; scan_mode={scan_mode}"
+    result.metrics = setup.substrate.registry.snapshot()
+    return result
+
+
+def _finalize_trace(
+    setup: ExperimentSetup, engine_name: str, recorder: TraceRecorder
+) -> None:
+    """Close a recorder with the run's reconciliation footer."""
+    stats = setup.engine.stats
+    recorder.finalize(
+        engine=engine_name,
+        live_kb=setup.disk.live_kb,
+        live_extents=setup.disk.live_extents,
+        compaction_write_kb=stats.compaction_write_kb,
+        compaction_read_kb=stats.compaction_read_kb,
+        flushes=stats.flushes,
+    )
+
+
 def run_experiment(
     engine_name: str,
     config: SystemConfig,
@@ -169,28 +217,42 @@ def run_experiment(
         # Attach before the preload: its bulk-loaded files are part of
         # the file-lifecycle ledger the trace must balance.
         recorder = TraceRecorder(setup.clock, setup.substrate.bus)
-    if do_preload:
-        preload(setup)
-    workload = RangeHotWorkload(config)
-    driver = MixedReadWriteDriver(
-        setup.engine,
-        config,
-        setup.clock,
-        workload=workload,
-        seed=seed,
-        scan_mode=scan_mode,
-    )
-    result = driver.run(duration_s)
-    result.config_note = f"scale-adjusted; scan_mode={scan_mode}"
+    result = _drive(setup, duration_s, seed, scan_mode, do_preload)
     if recorder is not None and trace_path is not None:
-        stats = setup.engine.stats
-        recorder.finalize(
-            engine=engine_name,
-            live_kb=setup.disk.live_kb,
-            live_extents=setup.disk.live_extents,
-            compaction_write_kb=stats.compaction_write_kb,
-            compaction_read_kb=stats.compaction_read_kb,
-            flushes=stats.flushes,
-        )
+        _finalize_trace(setup, engine_name, recorder)
         recorder.write_jsonl(trace_path)
     return result
+
+
+def run_profiled(
+    engine_name: str,
+    config: SystemConfig,
+    duration_s: int | None = None,
+    seed: int = 0,
+    scan_mode: bool = False,
+    do_preload: bool = True,
+    sample_every: int = DEFAULT_SAMPLE_EVERY,
+    trace_path: str | None = None,
+) -> tuple[RunResult, TraceRecorder]:
+    """Like :func:`run_experiment`, with the causal profiling layer on.
+
+    A :class:`~repro.obs.trace.TraceRecorder` is always attached (before
+    the preload, so the ledger balances) and a
+    :class:`~repro.obs.prof.SpanProfiler` samples every
+    ``sample_every``-th read into the same trace.  Returns the run result
+    *and* the finalized recorder, whose records feed
+    :func:`repro.obs.diagnose.diagnose_dips` and the ``repro report``
+    command; ``trace_path`` additionally writes the JSONL file.
+    """
+    setup = build_engine(engine_name, config)
+    recorder = TraceRecorder(setup.clock, setup.substrate.bus)
+    profiler = SpanProfiler(
+        bus=setup.substrate.bus, config=config, sample_every=sample_every
+    )
+    result = _drive(
+        setup, duration_s, seed, scan_mode, do_preload, profiler=profiler
+    )
+    _finalize_trace(setup, engine_name, recorder)
+    if trace_path is not None:
+        recorder.write_jsonl(trace_path)
+    return result, recorder

@@ -11,68 +11,14 @@ of reads, far too many to hold as individual floats.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import Reservoir
 
-class LatencyReservoir:
-    """Uniform fixed-size sample of a latency stream (Algorithm R).
-
-    Vitter's reservoir sampling: the first ``capacity`` observations fill
-    the reservoir, after which observation ``n`` replaces a random slot
-    with probability ``capacity / n`` — every observation ends up retained
-    with equal probability, so percentiles over the reservoir estimate the
-    stream's percentiles without holding the stream.
-
-    ``len()`` reports the number of values *observed* (the stream length),
-    not the number retained; iteration yields the retained sample.
-    """
-
-    def __init__(self, capacity: int = 8192, seed: int = 0) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self._rng = random.Random(seed)
-        self._samples: list[float] = []
-        self.count = 0
-
-    def append(self, value: float) -> None:
-        """Observe one value (list-compatible name for the drivers)."""
-        self.count += 1
-        if len(self._samples) < self.capacity:
-            self._samples.append(value)
-            return
-        slot = self._rng.randrange(self.count)
-        if slot < self.capacity:
-            self._samples[slot] = value
-
-    add = append
-
-    @property
-    def samples(self) -> list[float]:
-        """A copy of the retained sample (at most ``capacity`` values)."""
-        return list(self._samples)
-
-    def __len__(self) -> int:
-        return self.count
-
-    def __bool__(self) -> bool:
-        return self.count > 0
-
-    def __iter__(self):
-        return iter(self._samples)
-
-    def percentile(self, percentile: float) -> float:
-        """Estimated stream percentile (e.g. 50, 99) from the sample."""
-        if not 0.0 <= percentile <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100]: {percentile}")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = min(
-            len(ordered) - 1, max(0, round(percentile / 100 * (len(ordered) - 1)))
-        )
-        return ordered[rank]
+#: The driver's per-read latency sample is the one shared reservoir
+#: implementation (Vitter's Algorithm R) from :mod:`repro.obs.metrics` —
+#: the same sampler Histogram percentiles use.
+LatencyReservoir = Reservoir
 
 
 class TimeSeries:
@@ -168,6 +114,19 @@ class RunResult:
     read_latencies_s: LatencyReservoir = field(default_factory=LatencyReservoir)
     #: Engine events observed during the run, counted by type name.
     event_counts: dict[str, int] = field(default_factory=dict)
+    #: Per-cause background+foreground disk bandwidth (KB/s of combined
+    #: read+write traffic), one series per attribution cause ("flush",
+    #: "compaction:L1", "wal", "query", ...), sampled every driver tick.
+    bandwidth_by_cause: dict[str, TimeSeries] = field(default_factory=dict)
+    #: Per-cause disk traffic totals over this run's window, as
+    #: ``{cause: {"read_kb": x, "write_kb": y}}`` — these sum-reconcile
+    #: with the DiskStats sequential counters (the bandwidth-attribution
+    #: invariant).
+    bandwidth_kb_by_cause: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
+    #: The substrate registry's closing snapshot (set by run_experiment).
+    metrics: dict[str, object] = field(default_factory=dict)
 
     def warmup_samples(self, fraction: float = 0.1) -> int:
         """Sample count to skip so summaries ignore the cold start."""
@@ -200,6 +159,11 @@ class RunResult:
             "latency_p50_ms": self.latency_percentile_s(50) * 1000,
             "latency_p99_ms": self.latency_percentile_s(99) * 1000,
             "event_counts": dict(self.event_counts),
+            "bandwidth_kb_by_cause": {
+                cause: dict(totals)
+                for cause, totals in sorted(self.bandwidth_kb_by_cause.items())
+            },
+            "metrics": dict(self.metrics),
         }
 
     def to_csv_rows(self) -> list[str]:

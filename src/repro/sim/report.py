@@ -7,6 +7,7 @@ the paper-vs-measured record).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections.abc import Sequence
 
 from repro.sim.metrics import TimeSeries
@@ -41,6 +42,28 @@ def sparkline(series: TimeSeries, buckets: int = 60, lo: float | None = None,
         scaled = (value - low) / span
         glyphs.append(_BAR_GLYPHS[min(8, max(0, int(scaled * 8.999)))])
     return "".join(glyphs)
+
+
+def mark_line(series: TimeSeries, mark_times: Sequence[int],
+              buckets: int = 60, glyph: str = "^") -> str:
+    """A marker row aligned under :func:`sparkline`'s buckets.
+
+    Each time in ``mark_times`` (e.g. a dip's sample time, a compaction's
+    end) is mapped to the sparkline bucket containing it and marked with
+    ``glyph``, so events can be read off directly beneath the curve they
+    explain.
+    """
+    points = series.bucketed(buckets)
+    if not points:
+        return ""
+    size = max(1, len(series) // buckets)
+    cells = [" "] * len(points)
+    for time in mark_times:
+        index = bisect_right(series.times, time) - 1
+        if index < 0:
+            continue
+        cells[min(len(cells) - 1, index // size)] = glyph
+    return "".join(cells)
 
 
 def series_block(title: str, series: TimeSeries, unit: str = "",

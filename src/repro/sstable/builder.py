@@ -51,12 +51,15 @@ class TableBuilder:
         self,
         entries: Iterable[Entry],
         charge_write: bool = True,
+        cause: str = "unattributed",
     ) -> list[SSTableFile]:
         """Build files from ``entries`` (strictly sorted, unique keys).
 
         ``charge_write`` controls whether the sequential write traffic is
         billed to the disk; the normal path always charges, tests may
-        disable it to isolate other counters.
+        disable it to isolate other counters.  ``cause`` labels the
+        charged writes for the per-cause bandwidth attribution ("flush",
+        "compaction:L2", "preload"); engine call sites always tag it.
         """
         config = self._config
         files: list[SSTableFile] = []
@@ -77,7 +80,7 @@ class TableBuilder:
             size_kb = len(blocks) * config.block_size_kb
             extent = self._disk.allocate(size_kb)
             if charge_write:
-                self._disk.background_write(size_kb)
+                self._disk.background_write(size_kb, cause=cause)
             file = SSTableFile(self._file_ids.next_id(), list(blocks), extent)
             files.append(file)
             blocks.clear()
@@ -103,9 +106,10 @@ class TableBuilder:
         self,
         entries: Iterable[Entry],
         charge_write: bool = True,
+        cause: str = "unattributed",
     ) -> tuple[list[SSTableFile], list[SuperFile]]:
         """Build files and pack them into super-files of ``r`` members."""
-        files = self.build(entries, charge_write=charge_write)
+        files = self.build(entries, charge_write=charge_write, cause=cause)
         superfiles = group_into_superfiles(
             files, self._config.superfile_files, self._superfile_ids
         )

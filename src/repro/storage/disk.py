@@ -9,7 +9,12 @@ one random block for a query miss) and the disk keeps the books:
 * a per-virtual-second bandwidth ledger for *background* (compaction) I/O,
   from which the driver derives device utilization and, through
   :class:`~repro.storage.iomodel.IOCostModel`, the queueing slowdown that
-  foreground queries experience.
+  foreground queries experience,
+* a per-*cause* attribution of all sequential traffic ("flush",
+  "compaction:L2", "wal", "query", ...), so the profiling layer can say
+  which stream of the paper's mixed workload owns the device at any time;
+  the per-cause totals sum-reconcile exactly with the ``DiskStats``
+  sequential counters (the bandwidth-attribution invariant).
 
 The disk also exposes page-level physical addresses so the OS buffer cache
 (which caches by physical location, not by file) can observe compaction
@@ -69,6 +74,13 @@ class SimulatedDisk:
         self._bandwidth = seq_bandwidth_kb_per_s
         self._allocator = ExtentAllocator()
         self.stats = DiskStats()
+        #: Cumulative sequential traffic attributed by cause, in KB.
+        #: Every KB in ``stats.seq_read_kb``/``seq_write_kb`` appears in
+        #: exactly one cause bucket here (default "unattributed", which
+        #: the bandwidth-attribution checker requires to stay zero on
+        #: fully tagged engine stacks).
+        self.cause_read_kb: dict[str, float] = {}
+        self.cause_write_kb: dict[str, float] = {}
         self.bind_observability(NULL_REGISTRY)
         self._tick = _TickLedger()
         #: Background work queued but not yet absorbed by the device.  A
@@ -90,6 +102,7 @@ class SimulatedDisk:
         writes to the shared null registry, so standalone construction
         (unit tests, ad-hoc scripts) pays nothing.
         """
+        self._registry = registry
         self._m_seq_read_kb = registry.counter("disk.seq_read_kb")
         self._m_seq_write_kb = registry.counter("disk.seq_write_kb")
         self._m_random_reads = registry.counter("disk.random_read_blocks")
@@ -97,6 +110,13 @@ class SimulatedDisk:
         self._m_allocations = registry.counter("disk.allocations")
         self._m_frees = registry.counter("disk.frees")
         self._m_live_kb = registry.gauge("disk.live_kb")
+        # Per-cause counters are created lazily (causes arrive at
+        # runtime); rebinding re-registers the causes seen so far.
+        self._m_cause: dict[tuple[str, str], object] = {}
+        for cause in self.cause_read_kb:
+            self._cause_counter("read", cause)
+        for cause in self.cause_write_kb:
+            self._cause_counter("write", cause)
 
     # ------------------------------------------------------------------
     # Space management.
@@ -135,21 +155,33 @@ class SimulatedDisk:
     # ------------------------------------------------------------------
     # Background (compaction) I/O accounting.
     # ------------------------------------------------------------------
-    def background_read(self, size_kb: float, seeks: int = 1) -> None:
-        """Record a sequential compaction read of ``size_kb``."""
+    def background_read(
+        self, size_kb: float, seeks: int = 1, cause: str = "unattributed"
+    ) -> None:
+        """Record a sequential compaction read of ``size_kb``.
+
+        ``cause`` names the stream this traffic belongs to ("flush",
+        "compaction:L2", ...); engine code always tags it, so the
+        default only shows up from untagged ad-hoc callers — and the
+        bandwidth-attribution checker flags it.
+        """
         if self.fault_hook is not None:
             self.fault_hook("disk.background_read")
         self._record_background(size_kb, seeks)
         self.stats.seq_read_kb += size_kb
         self._m_seq_read_kb.inc(size_kb)
+        self._attribute("read", cause, size_kb)
 
-    def background_write(self, size_kb: float, seeks: int = 1) -> None:
+    def background_write(
+        self, size_kb: float, seeks: int = 1, cause: str = "unattributed"
+    ) -> None:
         """Record a sequential compaction write of ``size_kb``."""
         if self.fault_hook is not None:
             self.fault_hook("disk.background_write")
         self._record_background(size_kb, seeks)
         self.stats.seq_write_kb += size_kb
         self._m_seq_write_kb.inc(size_kb)
+        self._attribute("write", cause, size_kb)
 
     def note_temp_space(self, size_kb: float) -> None:
         """Record transient space held during this second's compaction.
@@ -169,6 +201,44 @@ class SimulatedDisk:
         self._tick.background_seeks += seeks
         self.stats.seeks += seeks
         self._m_seeks.inc(seeks)
+
+    # ------------------------------------------------------------------
+    # Per-cause bandwidth attribution.
+    # ------------------------------------------------------------------
+    def _cause_counter(self, kind: str, cause: str):
+        counter = self._m_cause.get((kind, cause))
+        if counter is None:
+            counter = self._registry.counter(f"disk.bw.{cause}.{kind}_kb")
+            self._m_cause[(kind, cause)] = counter
+        return counter
+
+    def _attribute(self, kind: str, cause: str, size_kb: float) -> None:
+        totals = self.cause_read_kb if kind == "read" else self.cause_write_kb
+        totals[cause] = totals.get(cause, 0.0) + size_kb
+        self._cause_counter(kind, cause).inc(size_kb)
+
+    def record_cause(self, cause: str) -> None:
+        """Register a zero-I/O cause so reports list it explicitly.
+
+        LSbM's buffer appends and trim removals move *no* data — the
+        paper's "no additional I/O" claim — but the per-cause breakdown
+        should still show them at 0 KB rather than omit them.
+        """
+        self.cause_read_kb.setdefault(cause, 0.0)
+        self.cause_write_kb.setdefault(cause, 0.0)
+        self._cause_counter("read", cause)
+        self._cause_counter("write", cause)
+
+    def cause_totals(self) -> dict[str, dict[str, float]]:
+        """Cumulative per-cause traffic: ``{cause: {read_kb, write_kb}}``."""
+        causes = set(self.cause_read_kb) | set(self.cause_write_kb)
+        return {
+            cause: {
+                "read_kb": self.cause_read_kb.get(cause, 0.0),
+                "write_kb": self.cause_write_kb.get(cause, 0.0),
+            }
+            for cause in sorted(causes)
+        }
 
     def _roll_tick(self) -> None:
         if self._tick.second != self._clock.now:
@@ -195,11 +265,14 @@ class SimulatedDisk:
         self._m_random_reads.inc(blocks)
         self._m_seeks.inc(blocks)
 
-    def foreground_sequential_read(self, size_kb: float, seeks: int = 1) -> None:
+    def foreground_sequential_read(
+        self, size_kb: float, seeks: int = 1, cause: str = "query"
+    ) -> None:
         self.stats.seq_read_kb += size_kb
         self.stats.seeks += seeks
         self._m_seq_read_kb.inc(size_kb)
         self._m_seeks.inc(seeks)
+        self._attribute("read", cause, size_kb)
 
     # ------------------------------------------------------------------
     # Utilization.

@@ -129,8 +129,9 @@ class HBaseStyleStore(LSMEngine):
         merged, obsolete = merge_with_obsolete_count(
             sources, drop_tombstones=drop_obsolete
         )
-        self._charge_compaction_read(input_files)
-        new_files = self.builder.build(iter(merged))
+        cause = f"compaction:{kind}"
+        self._charge_compaction_read(input_files, cause=cause)
+        new_files = self.builder.build(iter(merged), cause=cause)
         self._on_compaction_output(new_files)
         output_kb = float(sum(f.size_kb for f in new_files))
         self.disk.note_temp_space(input_kb)
@@ -187,6 +188,6 @@ class HBaseStyleStore(LSMEngine):
     # Bulk loading.
     # ------------------------------------------------------------------
     def bulk_load(self, entries: list[Entry]) -> None:
-        files = self.builder.build(iter(entries))
+        files = self.builder.build(iter(entries), cause="preload")
         self.tables.insert(0, SortedTable(files))  # Oldest position.
         self._seq = max(self._seq, max((e.seq for e in entries), default=0))

@@ -150,6 +150,56 @@ class TestTraceCommand:
         assert write_kb == pytest.approx(end["compaction_write_kb"])
 
 
+class TestReportCommand:
+    def test_report_prints_diagnosis_and_bandwidth(self, capsys):
+        code = main(
+            [
+                "report",
+                "--engine",
+                "leveldb",
+                "--scale",
+                "8192",
+                "--duration",
+                "400",
+                "--sample-every",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dip diagnosis" in out
+        assert "disk bandwidth by cause" in out
+        assert "flush" in out
+        assert "read-path spans" in out
+
+    def test_report_json_with_trace(self, tmp_path, capsys):
+        trace = tmp_path / "report.jsonl"
+        code = main(
+            [
+                "report",
+                "--engine",
+                "lsbm",
+                "--scale",
+                "8192",
+                "--duration",
+                "400",
+                "--sample-every",
+                "1",
+                "--trace-out",
+                str(trace),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "lsbm"
+        assert payload["span_summary"]["count"] > 0
+        assert "fraction_explained" in payload["dip_diagnosis"]
+        assert "flush" in payload["bandwidth_kb_by_cause"]
+        records = read_jsonl(trace)
+        assert any(r["event"] == "ReadSpan" for r in records)
+
+
 class TestCompareCommand:
     def test_compare_two_engines(self, capsys):
         code = main(

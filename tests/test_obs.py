@@ -63,6 +63,9 @@ class TestMetricsRegistry:
             "min": 1.0,
             "max": 3.0,
             "mean": 2.0,
+            "p50": 1.0,
+            "p95": 3.0,
+            "p99": 3.0,
         }
 
     def test_disabled_registry_is_noop(self):

@@ -1,0 +1,443 @@
+"""Tests for the causal profiling layer.
+
+Covers the four tentpole pieces — span traces, per-cause bandwidth
+attribution, dip diagnosis, bench telemetry — plus the acceptance
+criteria: the disabled path costs nothing, per-cause totals reconcile
+with DiskStats, two same-seed profiled runs produce byte-identical
+traces, and the Fig. 8 LevelDB run's dips are >= 80% attributable.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import sys
+
+import pytest
+
+from repro.check.invariants import BandwidthAttributionChecker, attach_checkers
+from repro.clock import VirtualClock
+from repro.config import SystemConfig
+from repro.lsm.base import ReadCost
+from repro.obs.diagnose import (
+    CAUSAL_EVENT_TYPES,
+    diagnose_dips,
+    find_dips,
+    format_dip_report,
+)
+from repro.obs.events import (
+    BufferFrozen,
+    BufferUnfrozen,
+    CacheInvalidated,
+    CompactionEnd,
+    CompactionStart,
+    EventBus,
+    EventTally,
+    FileCreated,
+    FileDiscarded,
+    FlushDone,
+    ReadSpan,
+    TrimRun,
+)
+from repro.obs.prof import NULL_PROFILER, SpanProfiler
+from repro.obs.trace import TraceRecorder, read_jsonl
+from repro.sim.driver import MixedReadWriteDriver
+from repro.sim.experiment import build_engine, preload, run_experiment, run_profiled
+from repro.sim.metrics import TimeSeries
+from repro.sim.report import mark_line, sparkline
+
+
+def _varied_costs() -> list[ReadCost]:
+    return [
+        ReadCost(),
+        ReadCost(memtable_probes=1),
+        ReadCost(index_probes=2, bloom_probes=3, cache_hit_blocks=2),
+        ReadCost(os_hit_blocks=4, disk_random_blocks=1, tables_checked=5),
+        ReadCost(seq_runs=2, seq_kb=100.0, tables_checked=7),
+        ReadCost(
+            bloom_probes=1,
+            cache_hit_blocks=1,
+            os_hit_blocks=1,
+            disk_random_blocks=2,
+            seq_runs=1,
+            seq_kb=16.0,
+            tables_checked=3,
+        ),
+    ]
+
+
+class TestSpanProfiler:
+    def test_enabled_requires_bus_and_config(self):
+        with pytest.raises(ValueError):
+            SpanProfiler(bus=EventBus())
+        with pytest.raises(ValueError):
+            SpanProfiler(config=SystemConfig.tiny())
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError):
+            SpanProfiler(enabled=False, sample_every=0)
+
+    def test_sampling_cadence(self):
+        bus = EventBus()
+        tally = EventTally(bus)
+        profiler = SpanProfiler(
+            bus=bus, config=SystemConfig.tiny(), sample_every=4
+        )
+        for _ in range(10):
+            profiler.record_read(ReadCost(), 0.0)
+        assert profiler.reads_seen == 10
+        assert profiler.spans_emitted == 2  # At reads 4 and 8.
+        assert tally.as_dict() == {"ReadSpan": 2}
+
+    def test_decompose_matches_price_read(self):
+        """Stage sum == the driver's priced per-real-read latency."""
+        config = SystemConfig.paper_scaled(2048)
+        setup = build_engine("leveldb", config)
+        driver = MixedReadWriteDriver(setup.engine, config, setup.clock)
+        profiler = SpanProfiler(bus=setup.substrate.bus, config=config)
+        for cost in _varied_costs():
+            for utilization in (0.0, 0.5, 0.95):
+                for is_scan, pairs in ((False, 0), (True, 13)):
+                    span = profiler.decompose(
+                        cost, utilization, pairs_returned=pairs, is_scan=is_scan
+                    )
+                    priced = driver.price_read(cost, pairs, utilization, is_scan)
+                    assert math.isclose(
+                        span.total_s,
+                        priced / config.ops_scale,
+                        rel_tol=1e-12,
+                    ), (cost, utilization, is_scan)
+                    stage_sum = (
+                        span.cpu_s
+                        + span.bloom_s
+                        + span.db_cache_s
+                        + span.os_cache_s
+                        + span.disk_random_s
+                        + span.disk_seq_s
+                    )
+                    assert math.isclose(span.total_s, stage_sum, rel_tol=1e-12)
+
+    def test_null_profiler_is_disabled_and_emits_nothing(self):
+        assert not NULL_PROFILER.enabled
+        for _ in range(5):
+            NULL_PROFILER.record_read(ReadCost(disk_random_blocks=1), 0.5)
+        assert NULL_PROFILER.reads_seen == 0
+        assert NULL_PROFILER.spans_emitted == 0
+
+    def test_disabled_record_read_allocates_nothing(self):
+        """The NULL path is one attribute check — no allocations."""
+        profiler = SpanProfiler(enabled=False)
+        cost = ReadCost(disk_random_blocks=1)
+        profiler.record_read(cost, 0.0)  # Warm any lazy interpreter state.
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in range(1000):
+            profiler.record_read(cost, 0.0)
+        delta = sys.getallocatedblocks() - before
+        assert delta <= 8, f"disabled record_read allocated {delta} blocks"
+
+    def test_default_run_has_no_spans_and_no_span_instruments(self):
+        """run_experiment (no profiler) must not pay for profiling."""
+        config = SystemConfig.paper_scaled(8192)
+        setup = build_engine("leveldb", config)
+        preload(setup)
+        driver = MixedReadWriteDriver(setup.engine, config, setup.clock, seed=1)
+        assert driver.profiler is NULL_PROFILER
+        result = driver.run(200)
+        assert "ReadSpan" not in result.event_counts
+        assert not any(
+            "span" in name.lower()
+            for name in setup.substrate.registry.names()
+        )
+
+
+class TestBandwidthAttribution:
+    @pytest.mark.parametrize("engine", ["leveldb", "lsbm", "hbase", "sm"])
+    def test_totals_reconcile_with_disk_stats(self, engine):
+        config = SystemConfig.paper_scaled(8192)
+        setup = build_engine(engine, config)
+        checkers = attach_checkers(setup)
+        preload(setup)
+        driver = MixedReadWriteDriver(setup.engine, config, setup.clock, seed=1)
+        result = driver.run(400)
+        checker = checkers["bandwidth-attribution"]
+        checker.sweep()
+        assert checker.ok, checker.report()
+        # The run-window totals also reconcile: the engine was fresh, so
+        # window == lifetime minus the preload's share.
+        stats = setup.disk.stats
+        window_read = sum(
+            t["read_kb"] for t in result.bandwidth_kb_by_cause.values()
+        )
+        window_write = sum(
+            t["write_kb"] for t in result.bandwidth_kb_by_cause.values()
+        )
+        assert window_read <= stats.seq_read_kb + 1e-9
+        assert window_write <= stats.seq_write_kb + 1e-9
+        assert "unattributed" not in result.bandwidth_kb_by_cause
+
+    def test_untagged_io_is_flagged(self):
+        substrate_config = SystemConfig.tiny()
+        from repro.substrate import Substrate
+
+        substrate = Substrate.create(substrate_config)
+        checker = BandwidthAttributionChecker(substrate.disk)
+        substrate.disk.background_write(4.0)  # No cause.
+        checker.sweep()
+        assert not checker.ok
+        assert any("unattributed" in v for v in checker.violations)
+
+    def test_bandwidth_series_sampled_per_cause(self):
+        config = SystemConfig.paper_scaled(8192)
+        setup = build_engine("leveldb", config)
+        preload(setup)
+        driver = MixedReadWriteDriver(setup.engine, config, setup.clock, seed=1)
+        result = driver.run(300)
+        assert "flush" in result.bandwidth_by_cause
+        series = result.bandwidth_by_cause["flush"]
+        assert len(series) > 0
+        # KB/s integrated over the sampled window stays within the
+        # window's total flush traffic.
+        total = sum(series.values)
+        assert total <= result.bandwidth_kb_by_cause["flush"]["write_kb"] + 1e-9
+
+
+class TestDipDiagnosis:
+    def _series(self, values, spacing=20):
+        series = TimeSeries("hit")
+        for index, value in enumerate(values):
+            series.add(index * spacing, value)
+        return series
+
+    def test_find_dips_matches_dips_below(self):
+        import random
+
+        rng = random.Random(9)
+        series = self._series([rng.random() for _ in range(200)])
+        for threshold in (0.3, 0.5, 0.7):
+            for skip in (0, 10):
+                assert len(find_dips(series, threshold, skip)) == (
+                    series.dips_below(threshold, skip)
+                )
+
+    def test_dips_attributed_within_window(self):
+        series = self._series([0.9, 0.9, 0.5, 0.9, 0.9, 0.4])
+        records = [
+            {"t": 35, "event": "CompactionEnd", "level": 2},
+            {"t": 90, "event": "FlushDone"},  # Not causal.
+        ]
+        report = diagnose_dips(series, records, threshold=0.7, window_s=40)
+        assert report.total_dips == 2
+        assert report.explained_dips == 1  # t=40 dip; t=100 unexplained.
+        assert report.cause_counts() == {"CompactionEnd": 1}
+        assert report.top_levels() == [(2, 1)]
+        text = format_dip_report(report)
+        assert "dips: 2" in text and "unexplained" in text
+
+    def test_empty_series_is_fully_explained(self):
+        report = diagnose_dips(self._series([]), [], threshold=0.7)
+        assert report.total_dips == 0
+        assert report.fraction_explained == 1.0
+
+    def test_json_dict_shape(self):
+        series = self._series([0.9, 0.5])
+        report = diagnose_dips(
+            series,
+            [{"t": 15, "event": "TrimRun", "removed": 1, "run_index": 0}],
+            threshold=0.7,
+            window_s=40,
+        )
+        payload = report.to_json_dict()
+        assert payload["total_dips"] == 1
+        assert payload["explained_dips"] == 1
+        assert payload["dips"][0]["cause_counts"] == {"TrimRun": 1}
+        json.dumps(payload)  # Fully serializable.
+
+    def test_fig08_leveldb_dips_mostly_attributed(self):
+        """Acceptance: >= 80% of the Fig. 8 LevelDB run's dips explained."""
+        config = SystemConfig.paper_scaled(2048)
+        result, recorder = run_profiled(
+            "leveldb", config, duration_s=12_000, seed=1, sample_every=256
+        )
+        warm = max(1, len(result.hit_ratio) // 10)
+        report = diagnose_dips(
+            result.hit_ratio, recorder.records, threshold=0.7, skip=warm
+        )
+        assert report.total_dips >= 5  # The churn Fig. 8b shows.
+        assert report.fraction_explained >= 0.8, format_dip_report(report)
+        # Compactions, not trims, drive LevelDB's dips.
+        assert report.cause_counts().get("CompactionEnd", 0) > 0
+
+
+class TestGoldenTrace:
+    def test_same_seed_runs_are_byte_identical(self):
+        config = SystemConfig.paper_scaled(8192)
+        traces = []
+        for _ in range(2):
+            result, recorder = run_profiled(
+                "lsbm", config, duration_s=400, seed=3, sample_every=8
+            )
+            traces.append(recorder.to_jsonl())
+        assert traces[0], "trace must not be empty"
+        assert "ReadSpan" in traces[0]
+        assert traces[0] == traces[1]
+
+    def test_read_jsonl_round_trips_every_event_type(self, tmp_path):
+        clock = VirtualClock()
+        bus = EventBus()
+        recorder = TraceRecorder(clock, bus)
+        events = [
+            FlushDone(entries=5, files=1, size_kb=4.0),
+            CompactionStart(level=0, input_files=2, input_kb=8.0),
+            CompactionEnd(
+                level=0, read_kb=8.0, write_kb=8.0, output_files=1,
+                obsolete_entries=2,
+            ),
+            FileCreated(file_id=1, size_kb=4, extent_start=0),
+            FileDiscarded(file_id=1, size_kb=4, reason="buffer"),
+            CacheInvalidated(cache="db", file_id=1, blocks=2),
+            TrimRun(removed=1, run_index=0),
+            BufferFrozen(level=2),
+            BufferUnfrozen(level=2),
+            ReadSpan(
+                op="get",
+                sample_index=32,
+                total_s=0.0155,
+                cpu_s=0.0004,
+                bloom_s=1e-6,
+                db_cache_s=0.0,
+                os_cache_s=0.0001,
+                disk_random_s=0.015,
+                disk_seq_s=0.0,
+                memtable_probes=1,
+                index_probes=2,
+                bloom_probes=2,
+                tables_checked=3,
+                db_hit_blocks=0,
+                os_hit_blocks=1,
+                disk_blocks=1,
+                seq_kb=0.0,
+                utilization=0.25,
+            ),
+        ]
+        for event in events:
+            bus.emit(event)
+            clock.advance(1)
+        recorder.finalize(live_kb=0, live_extents=0)
+        path = tmp_path / "all_events.jsonl"
+        recorder.write_jsonl(path)
+        records = read_jsonl(path)
+        assert records == recorder.records
+        names = [r["event"] for r in records]
+        assert names == [type(e).__name__ for e in events] + ["TraceEnd"]
+        span = records[-2]
+        assert span["total_s"] == pytest.approx(0.0155)
+        assert span["utilization"] == pytest.approx(0.25)
+        # Every causal type the dip diagnoser filters on round-trips.
+        assert set(CAUSAL_EVENT_TYPES) <= set(names)
+
+
+class TestRunProfiled:
+    def test_result_carries_metrics_snapshot(self):
+        config = SystemConfig.paper_scaled(8192)
+        result = run_experiment("leveldb", config, duration_s=200, seed=1)
+        assert result.metrics, "registry snapshot must be attached"
+        assert "disk.seq_write_kb" in result.metrics
+        payload = result.to_json_dict()
+        assert payload["metrics"] == result.metrics
+        assert payload["bandwidth_kb_by_cause"]
+
+    def test_trace_path_written_and_balanced(self, tmp_path):
+        config = SystemConfig.paper_scaled(8192)
+        path = tmp_path / "prof.jsonl"
+        result, recorder = run_profiled(
+            "leveldb",
+            config,
+            duration_s=300,
+            seed=1,
+            sample_every=1,
+            trace_path=str(path),
+        )
+        records = read_jsonl(path)
+        assert records[-1]["event"] == "TraceEnd"
+        created = sum(
+            r["size_kb"] for r in records if r["event"] == "FileCreated"
+        )
+        discarded = sum(
+            r["size_kb"] for r in records if r["event"] == "FileDiscarded"
+        )
+        assert created - discarded == records[-1]["live_kb"]
+        assert result.event_counts.get("ReadSpan", 0) > 0
+
+
+class TestMarkLine:
+    def test_marks_align_with_sparkline_buckets(self):
+        series = TimeSeries("s")
+        for index in range(100):
+            series.add(index * 10, float(index % 7))
+        line = mark_line(series, [0, 990], buckets=10)
+        assert len(line) == len(sparkline(series, 10))
+        assert line[0] == "^" and line[-1] == "^"
+        assert set(line[1:-1]) == {" "}
+
+    def test_empty_series(self):
+        assert mark_line(TimeSeries("s"), [5]) == ""
+
+    def test_out_of_range_marks_ignored_or_clamped(self):
+        series = TimeSeries("s")
+        for index in range(10):
+            series.add(index, 1.0)
+        line = mark_line(series, [-5, 100], buckets=5)
+        assert line[-1] == "^"  # Late mark clamps to the last bucket.
+        assert "^" not in line[:-1]  # Pre-series mark is dropped.
+
+
+class TestBenchTelemetry:
+    def _common(self):
+        import benchmarks.common as common
+
+        return common
+
+    def test_write_bench_validates_and_writes(self, tmp_path, monkeypatch):
+        common = self._common()
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        config = SystemConfig.paper_scaled(8192)
+        result = common.timed(
+            lambda: run_experiment("leveldb", config, duration_s=100, seed=1)
+        )
+        path = common.write_bench(
+            "unit_smoke", {("leveldb", 1): result}, scalars={"knob": 2.5}
+        )
+        assert path.name == "BENCH_unit_smoke.json"
+        payload = json.loads(path.read_text())
+        common.validate_bench(payload)
+        run = payload["runs"]["leveldb/1"]
+        assert run["wall_clock_s"] > 0.0
+        assert run["sim_ops_per_s"] > 0.0
+        assert run["mean_hit_ratio"] >= 0.0
+        assert payload["scalars"] == {"knob": 2.5}
+
+    def test_validate_bench_rejects_bad_payloads(self):
+        common = self._common()
+        with pytest.raises(ValueError):
+            common.validate_bench({})
+        base = {
+            "schema_version": common.BENCH_SCHEMA_VERSION,
+            "name": "x",
+            "scale": 2048,
+            "duration_s": 100,
+            "seed": 1,
+            "runs": {},
+            "scalars": {},
+        }
+        with pytest.raises(ValueError):  # Neither runs nor scalars.
+            common.validate_bench(dict(base))
+        with pytest.raises(ValueError):  # Non-numeric scalar.
+            common.validate_bench(dict(base, scalars={"a": "oops"}))
+        with pytest.raises(ValueError):  # Run missing required fields.
+            common.validate_bench(dict(base, runs={"r": {"engine": "x"}}))
+        with pytest.raises(ValueError):  # Wrong schema version.
+            common.validate_bench(
+                dict(base, schema_version=999, scalars={"a": 1})
+            )
