@@ -13,7 +13,10 @@ Environment knobs:
   EXPERIMENTS.md quotes; scale-1024 spot checks are recorded there too);
 * ``REPRO_BENCH_DURATION`` — virtual seconds per run (default 20,000,
   the paper's full test length; lower it for smoke runs — the level-2
-  phenomena need at least ~13,000).
+  phenomena need at least ~13,000);
+* ``REPRO_BENCH_JOBS`` — worker processes for grid runs (default 1;
+  raise it on multi-core runners — results are identical by
+  construction, see :mod:`repro.sim.sweep`).
 """
 
 from __future__ import annotations
@@ -24,12 +27,14 @@ import time
 from pathlib import Path
 
 from repro.config import SystemConfig
-from repro.sim.experiment import run_experiment
 from repro.sim.metrics import RunResult
+from repro.sim.spec import ExperimentSpec
+from repro.sim.sweep import run_sweep
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "2048"))
 BENCH_DURATION = int(os.environ.get("REPRO_BENCH_DURATION", "20000"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 #: The database-size figures (12/13) hinge on the level-2 merge round,
 #: which happens at ~10,240 virtual seconds at every scale (the fill
@@ -39,7 +44,7 @@ SIZE_DURATION = max(BENCH_DURATION, 13_000)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-_run_cache: dict[tuple, RunResult] = {}
+_run_cache: dict[ExperimentSpec, RunResult] = {}
 
 #: Harness telemetry per cached run, keyed by ``id(result)``: how long
 #: the *simulator* took on the wall clock and how many simulated
@@ -56,6 +61,66 @@ def bench_config(**overrides) -> SystemConfig:
     return config
 
 
+def cell(
+    engine: str,
+    scan_mode: bool = False,
+    duration: int | None = None,
+    base: str = "paper_scaled",
+    **config_overrides,
+) -> ExperimentSpec:
+    """One declarative grid cell at the benchmark scale/seed."""
+    return ExperimentSpec(
+        engine=engine,
+        base=base,
+        scale=BENCH_SCALE,
+        overrides=tuple(sorted(config_overrides.items())),
+        duration_s=duration if duration is not None else BENCH_DURATION,
+        seed=BENCH_SEED,
+        scan_mode=scan_mode,
+    )
+
+
+def run_grid(
+    cells: dict[object, ExperimentSpec] | None = None,
+    *,
+    engines=None,
+    scan_mode: bool = False,
+    duration: int | None = None,
+    jobs: int | None = None,
+    **config_overrides,
+) -> dict[object, RunResult]:
+    """Run a labelled grid of cells; memoized, parallel when jobs > 1.
+
+    Either pass ``cells`` (label -> :func:`cell`) or the convenience form
+    ``engines=(...)`` which labels each cell by its engine name.  Misses
+    are fanned over ``jobs`` worker processes (``REPRO_BENCH_JOBS`` by
+    default) via :func:`repro.sim.sweep.run_sweep`; hits come from the
+    cross-file memo, so the summary figures still reuse the series
+    figures' runs.
+    """
+    if cells is None:
+        cells = {
+            name: cell(name, scan_mode=scan_mode, duration=duration,
+                       **config_overrides)
+            for name in engines
+        }
+    jobs = BENCH_JOBS if jobs is None else jobs
+    # Distinct missing specs, each mapped to every label that wants it.
+    missing: dict[ExperimentSpec, list[object]] = {}
+    for label, spec in cells.items():
+        if spec not in _run_cache:
+            missing.setdefault(spec, []).append(label)
+    if missing:
+        outcome = run_sweep(list(missing), jobs=jobs)
+        for run in outcome.outcomes:
+            _run_cache[run.spec] = run.result
+            _telemetry[id(run.result)] = {
+                "wall_clock_s": run.wall_clock_s,
+                "sim_ops_per_s": run.sim_ops_per_s,
+            }
+    return {label: _run_cache[spec] for label, spec in cells.items()}
+
+
 def run_cached(
     engine: str,
     scan_mode: bool = False,
@@ -63,23 +128,9 @@ def run_cached(
     **config_overrides,
 ) -> RunResult:
     """Run (or reuse) one experiment; memoized across benchmark files."""
-    duration = duration if duration is not None else BENCH_DURATION
-    key = (engine, scan_mode, duration, tuple(sorted(config_overrides.items())))
-    if key not in _run_cache:
-        config = bench_config(**config_overrides)
-        started = time.perf_counter()
-        result = run_experiment(
-            engine, config, duration_s=duration, seed=BENCH_SEED,
-            scan_mode=scan_mode,
-        )
-        wall_s = time.perf_counter() - started
-        _run_cache[key] = result
-        sim_ops = result.reads_completed + result.writes_applied
-        _telemetry[id(result)] = {
-            "wall_clock_s": wall_s,
-            "sim_ops_per_s": sim_ops / wall_s if wall_s > 0 else 0.0,
-        }
-    return _run_cache[key]
+    spec = cell(engine, scan_mode=scan_mode, duration=duration,
+                **config_overrides)
+    return run_grid({engine: spec})[engine]
 
 
 def timed(fn):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import bench_config, once, run_cached, write_bench, write_report
+from .common import bench_config, cell, once, run_grid, write_bench, write_report
 
 #: Fractions chosen so capacity actually binds at the low end (the hot
 #: range is 15% of the data; at 30%+ the cache holds it comfortably).
@@ -22,14 +22,19 @@ DURATION = 6000
 
 def _sweep():
     base = bench_config()
-    runs = {}
-    for fraction in CACHE_FRACTIONS:
-        cache_kb = max(base.block_size_kb, int(base.dataset_kb * fraction))
-        for engine in ("blsm", "lsbm"):
-            runs[(engine, fraction)] = run_cached(
-                engine, duration=DURATION, cache_size_kb=cache_kb
+    return run_grid(
+        {
+            (engine, fraction): cell(
+                engine,
+                duration=DURATION,
+                cache_size_kb=max(
+                    base.block_size_kb, int(base.dataset_kb * fraction)
+                ),
             )
-    return runs
+            for fraction in CACHE_FRACTIONS
+            for engine in ("blsm", "lsbm")
+        }
+    )
 
 
 def test_ablation_cache_size(benchmark):

@@ -20,23 +20,26 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import once, run_cached, write_bench, write_report
+from .common import cell, once, run_grid, write_bench, write_report
 
 DURATION = 8000
 
 
 def _runs():
-    return {
-        ("hbase", "point"): run_cached("hbase", duration=DURATION),
-        ("hbase-nomajor", "point"): run_cached(
-            "hbase-nomajor", duration=DURATION
-        ),
-        ("lsbm", "point"): run_cached("lsbm", duration=DURATION),
-        ("hbase-nomajor", "range"): run_cached(
-            "hbase-nomajor", scan_mode=True, duration=DURATION
-        ),
-        ("lsbm", "range"): run_cached("lsbm", scan_mode=True, duration=DURATION),
-    }
+    return run_grid(
+        {
+            (engine, mode): cell(
+                engine, scan_mode=(mode == "range"), duration=DURATION
+            )
+            for engine, mode in (
+                ("hbase", "point"),
+                ("hbase-nomajor", "point"),
+                ("lsbm", "point"),
+                ("hbase-nomajor", "range"),
+                ("lsbm", "range"),
+            )
+        }
+    )
 
 
 def test_ablation_hbase_interference(benchmark):

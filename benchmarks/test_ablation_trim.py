@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import once, run_cached, write_bench, write_report
+from .common import cell, once, run_grid, write_bench, write_report
 
 THRESHOLDS = (0.2, 0.8, 1.0)
 DURATION = 6000
@@ -21,15 +21,17 @@ FILE_KB = 16
 
 
 def _sweep():
-    return {
-        threshold: run_cached(
-            "lsbm",
-            duration=DURATION,
-            trim_threshold=threshold,
-            file_size_kb=FILE_KB,
-        )
-        for threshold in THRESHOLDS
-    }
+    return run_grid(
+        {
+            threshold: cell(
+                "lsbm",
+                duration=DURATION,
+                trim_threshold=threshold,
+                file_size_kb=FILE_KB,
+            )
+            for threshold in THRESHOLDS
+        }
+    )
 
 
 def test_ablation_trim_threshold(benchmark):

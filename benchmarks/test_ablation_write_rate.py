@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import bench_config, once, run_cached, write_bench, write_report
+from .common import bench_config, cell, once, run_grid, write_bench, write_report
 
 MULTIPLIERS = (0.5, 1.0, 2.0)
 DURATION = 6000
@@ -21,15 +21,17 @@ DURATION = 6000
 
 def _sweep():
     base_rate = bench_config().write_rate_pairs_per_s
-    runs = {}
-    for multiplier in MULTIPLIERS:
-        for engine in ("blsm", "lsbm"):
-            runs[(engine, multiplier)] = run_cached(
+    return run_grid(
+        {
+            (engine, multiplier): cell(
                 engine,
                 duration=DURATION,
                 write_rate_pairs_per_s=base_rate * multiplier,
             )
-    return runs
+            for multiplier in MULTIPLIERS
+            for engine in ("blsm", "lsbm")
+        }
+    )
 
 
 def test_ablation_write_rate(benchmark):

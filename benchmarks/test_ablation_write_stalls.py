@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import once, run_cached, write_bench, write_report
+from .common import once, run_grid, write_bench, write_report
 
 ENGINES = ("leveldb", "blsm", "lsbm")
 DURATION = 6000
@@ -29,8 +29,7 @@ def _percentile(values: list[float], percentile: float) -> float:
 
 def test_ablation_write_stalls(benchmark):
     runs = once(
-        benchmark,
-        lambda: {name: run_cached(name, duration=DURATION) for name in ENGINES},
+        benchmark, lambda: run_grid(engines=ENGINES, duration=DURATION)
     )
     stats = {}
     rows = []

@@ -15,28 +15,23 @@ persists, which is what DRAM-cost arguments would still care about).
 
 from __future__ import annotations
 
-from repro.config import SystemConfig
-from repro.sim.experiment import run_experiment
 from repro.sim.report import ascii_table
 
-from .common import BENCH_SCALE, BENCH_SEED, once, timed, write_bench, write_report
+from .common import cell, once, run_grid, write_bench, write_report
 
 DURATION = 6000
 
 
 def _sweep():
-    runs = {}
-    for medium, config in (
-        ("hdd", SystemConfig.paper_scaled(BENCH_SCALE)),
-        ("ssd", SystemConfig.ssd_scaled(BENCH_SCALE)),
-    ):
-        for engine in ("blsm", "lsbm"):
-            runs[(medium, engine)] = timed(
-                lambda: run_experiment(
-                    engine, config, duration_s=DURATION, seed=BENCH_SEED
-                )
+    return run_grid(
+        {
+            (medium, engine): cell(engine, duration=DURATION, base=base)
+            for medium, base in (
+                ("hdd", "paper_scaled"), ("ssd", "ssd_scaled")
             )
-    return runs
+            for engine in ("blsm", "lsbm")
+        }
+    )
 
 
 def test_extension_ssd(benchmark):

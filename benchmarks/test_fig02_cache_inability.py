@@ -16,12 +16,14 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, series_block
 
-from .common import once, run_cached, write_bench, write_report
+from .common import once, run_grid, write_bench, write_report
 
 
 def test_fig02_os_and_db_cache_churn(benchmark):
-    os_run = once(benchmark, lambda: run_cached("leveldb-oscache"))
-    db_run = run_cached("leveldb")
+    runs = once(
+        benchmark, lambda: run_grid(engines=("leveldb-oscache", "leveldb"))
+    )
+    os_run, db_run = runs["leveldb-oscache"], runs["leveldb"]
 
     warm = max(1, len(db_run.hit_ratio) // 10)
 

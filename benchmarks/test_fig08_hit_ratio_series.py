@@ -16,13 +16,13 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, series_block
 
-from .common import once, run_cached, write_bench, write_report
+from .common import once, run_grid, write_bench, write_report
 
 ENGINES = ("blsm", "leveldb", "blsm+warmup", "lsbm")
 
 
 def _runs():
-    return {name: run_cached(name) for name in ENGINES}
+    return run_grid(engines=ENGINES)
 
 
 def test_fig08_hit_ratio_series(benchmark):

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, format_qps
 
-from .common import once, run_cached, write_bench, write_report
+from .common import once, run_grid, write_bench, write_report
 
 PAPER = {
     "blsm": (0.813, 2440),
@@ -31,9 +31,7 @@ PAPER = {
 
 
 def test_fig09_random_read_summary(benchmark):
-    runs = once(
-        benchmark, lambda: {name: run_cached(name) for name in PAPER}
-    )
+    runs = once(benchmark, lambda: run_grid(engines=tuple(PAPER)))
 
     rows = []
     for name, (paper_hit, paper_qps) in PAPER.items():

@@ -16,15 +16,14 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, series_block
 
-from .common import once, run_cached, write_bench, write_report
+from .common import once, run_grid, write_bench, write_report
 
 ENGINES = ("blsm", "blsm+kvcache", "sm", "lsbm")
 
 
 def test_fig10_range_throughput_series(benchmark):
     runs = once(
-        benchmark,
-        lambda: {name: run_cached(name, scan_mode=True) for name in ENGINES},
+        benchmark, lambda: run_grid(engines=ENGINES, scan_mode=True)
     )
     warm = max(1, len(runs["blsm"].throughput_qps) // 10)
 

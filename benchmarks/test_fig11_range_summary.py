@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, format_qps
 
-from .common import once, run_cached, write_bench, write_report
+from .common import once, run_grid, write_bench, write_report
 
 PAPER = {
     "blsm": 1066,
@@ -23,8 +23,7 @@ PAPER = {
 
 def test_fig11_range_summary(benchmark):
     runs = once(
-        benchmark,
-        lambda: {name: run_cached(name, scan_mode=True) for name in PAPER},
+        benchmark, lambda: run_grid(engines=tuple(PAPER), scan_mode=True)
     )
     rows = [
         [

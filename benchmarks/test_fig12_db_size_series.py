@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table, series_block
 
-from .common import SIZE_DURATION, once, run_cached, write_bench, write_report
+from .common import SIZE_DURATION, once, run_grid, write_bench, write_report
 
 ENGINES = ("blsm", "leveldb", "sm", "lsbm")
 
@@ -23,7 +23,9 @@ ENGINES = ("blsm", "leveldb", "sm", "lsbm")
 def test_fig12_db_size_series(benchmark):
     runs = once(
         benchmark,
-        lambda: {name: run_cached(name, scan_mode=True, duration=SIZE_DURATION) for name in ENGINES},
+        lambda: run_grid(
+            engines=ENGINES, scan_mode=True, duration=SIZE_DURATION
+        ),
     )
     rows = [
         [

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.sim.report import ascii_table
 
-from .common import SIZE_DURATION, once, run_cached, write_bench, write_report
+from .common import SIZE_DURATION, once, run_grid, write_bench, write_report
 
 PAPER_MB = {
     "blsm": 32_465,
@@ -26,7 +26,9 @@ PAPER_MB = {
 def test_fig13_db_size_summary(benchmark):
     runs = once(
         benchmark,
-        lambda: {name: run_cached(name, scan_mode=True, duration=SIZE_DURATION) for name in PAPER_MB},
+        lambda: run_grid(
+            engines=tuple(PAPER_MB), scan_mode=True, duration=SIZE_DURATION
+        ),
     )
     measured = {name: runs[name].mean_db_size_mb() for name in PAPER_MB}
     baseline = measured["blsm"]

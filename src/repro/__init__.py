@@ -44,8 +44,18 @@ from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceRecorder
 from repro.sim.driver import MixedReadWriteDriver
-from repro.sim.experiment import ENGINE_NAMES, build_engine, preload, run_experiment
+from repro.sim.experiment import (
+    ENGINE_NAMES,
+    ENGINE_SPECS,
+    EngineSpec,
+    build_engine,
+    execute,
+    preload,
+    run_experiment,
+)
 from repro.sim.metrics import RunResult
+from repro.sim.spec import ExperimentSpec
+from repro.sim.sweep import SweepOutcome, expand_grid, run_sweep
 from repro.substrate import Substrate
 from repro.variants.kv_store import KVCachedBLSM
 from repro.variants.warmup import WarmupBLSMTree
@@ -56,7 +66,10 @@ __version__ = "1.0.0"
 __all__ = [
     "BLSMTree",
     "ENGINE_NAMES",
+    "ENGINE_SPECS",
+    "EngineSpec",
     "EventBus",
+    "ExperimentSpec",
     "KVCachedBLSM",
     "LSbMTree",
     "LevelDBTree",
@@ -66,10 +79,14 @@ __all__ = [
     "RunResult",
     "SMTree",
     "Substrate",
+    "SweepOutcome",
     "SystemConfig",
     "TraceRecorder",
     "WarmupBLSMTree",
     "build_engine",
+    "execute",
+    "expand_grid",
     "preload",
     "run_experiment",
+    "run_sweep",
 ]

@@ -8,6 +8,13 @@ Usage (installed or via ``python -m repro.cli``):
     # several engines side by side (the Fig. 9 / Fig. 11 view)
     python -m repro.cli compare --engines blsm,leveldb,lsbm --duration 8000
 
+    # seed replication: mean ± std over three seeds, two worker processes
+    python -m repro.cli run --engine lsbm --seeds 0,1,2 --jobs 2
+
+    # a parallel grid sweep (engines × seeds × config overrides)
+    python -m repro.cli sweep --engines blsm,leveldb,lsbm --seeds 0,1 \\
+        --set trim_interval_s=10,30 --jobs 4 --out sweep.json
+
     # range-query mode, CSV time series out
     python -m repro.cli run --engine lsbm --scan --csv out.csv
 
@@ -32,11 +39,13 @@ Usage (installed or via ``python -m repro.cli``):
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
 
 from repro.config import SystemConfig
+from repro.errors import ConfigError
 from repro.sim.experiment import ENGINE_NAMES, run_experiment, run_profiled
 from repro.sim.metrics import RunResult
 from repro.sim.report import (
@@ -46,6 +55,21 @@ from repro.sim.report import (
     series_block,
     sparkline,
 )
+from repro.sim.sweep import expand_grid, run_sweep
+
+
+def _add_replication(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seeds",
+        help="comma-separated seeds; replicate each run and report "
+        "mean ± std instead of a single-seed point",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for replicated runs (default 1)",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -82,6 +106,58 @@ def _summary_row(name: str, result: RunResult) -> list[str]:
 
 _HEADERS = ["engine", "hit", "QPS", "DB MB", "p50 ms", "p99 ms"]
 
+#: Headers for seed-replicated summaries (``--seeds``).
+_REPLICA_HEADERS = [
+    "engine", "n", "hit mean±std", "QPS mean±std", "p99 ms mean"
+]
+
+
+def _parse_seeds(text: str) -> list[int]:
+    seeds = [int(part) for part in text.split(",") if part.strip()]
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    return seeds
+
+
+def _replicate(names: list[str], args: argparse.Namespace):
+    """Run every engine once per seed (via the sweep runner).
+
+    Returns the sweep outcome plus one cell summary per engine, in the
+    order of ``names``.
+    """
+    specs = expand_grid(
+        names,
+        seeds=_parse_seeds(args.seeds),
+        scale=args.scale,
+        duration_s=args.duration,
+        scan_mode=args.scan,
+    )
+    outcome = run_sweep(specs, jobs=args.jobs)
+    by_engine = {cell.engine: cell for cell in outcome.cells()}
+    return outcome, [by_engine[name] for name in names]
+
+
+def _replica_row(name: str, cell) -> list[str]:
+    hit = cell.stats["hit_ratio"]
+    qps = cell.stats["throughput_qps"]
+    p99 = cell.stats["latency_p99_ms"]
+    return [
+        name,
+        str(cell.replicas),
+        f"{hit['mean']:.3f} ± {hit['std']:.3f}",
+        f"{qps['mean']:,.0f} ± {qps['std']:,.0f}",
+        f"{p99['mean']:.2f}",
+    ]
+
+
+def _replica_json(outcome, cell) -> dict:
+    replicas = [
+        dict(o.result.to_json_dict(), seed=o.spec.seed, wall_clock_s=o.wall_clock_s)
+        for o in outcome.outcomes
+        if o.spec.engine == cell.engine
+    ]
+    return dict(cell.to_json_dict(), replicas=replicas)
+
 
 def cmd_engines(_args: argparse.Namespace) -> int:
     for name in ENGINE_NAMES:
@@ -90,11 +166,31 @@ def cmd_engines(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    mode = "range queries" if args.scan else "point reads"
+    if args.seeds is not None:
+        if args.csv:
+            print("--csv is per-run; use it with --seed, not --seeds",
+                  file=sys.stderr)
+            return 2
+        print(
+            f"running {args.engine} at 1/{args.scale} scale for "
+            f"{args.duration} virtual seconds ({mode}), "
+            f"seeds {args.seeds}, jobs={args.jobs}",
+            file=sys.stderr,
+        )
+        outcome, (cell,) = _replicate([args.engine], args)
+        if args.json:
+            print(json.dumps(_replica_json(outcome, cell), indent=2,
+                             sort_keys=True))
+        else:
+            print(ascii_table(
+                _REPLICA_HEADERS, [_replica_row(args.engine, cell)]
+            ))
+        return 0
     config = SystemConfig.paper_scaled(args.scale)
     print(
         f"running {args.engine} at 1/{args.scale} scale for "
-        f"{args.duration} virtual seconds "
-        f"({'range queries' if args.scan else 'point reads'})",
+        f"{args.duration} virtual seconds ({mode})",
         file=sys.stderr,
     )
     result = run_experiment(
@@ -124,6 +220,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown engines: {unknown}; see `engines`", file=sys.stderr)
         return 2
+    if args.seeds is not None:
+        print(
+            f"comparing {','.join(names)} over seeds {args.seeds}, "
+            f"jobs={args.jobs} ...",
+            file=sys.stderr,
+        )
+        outcome, cells = _replicate(names, args)
+        if args.json:
+            print(json.dumps(
+                [_replica_json(outcome, cell) for cell in cells],
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(ascii_table(
+                _REPLICA_HEADERS,
+                [_replica_row(name, cell)
+                 for name, cell in zip(names, cells)],
+            ))
+        return 0
     config = SystemConfig.paper_scaled(args.scale)
     rows = []
     summaries = []
@@ -142,6 +257,105 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(json.dumps(summaries, indent=2, sort_keys=True))
     else:
         print(ascii_table(_HEADERS, rows))
+    return 0
+
+
+#: Parsers for ``--set field=v1,v2`` values, keyed by the annotated type
+#: of the SystemConfig field (annotations are strings under
+#: ``from __future__ import annotations``).
+_AXIS_PARSERS = {
+    "int": int,
+    "float": float,
+    "bool": lambda text: text.lower() in ("1", "true", "yes", "on"),
+    "str": str,
+}
+
+_CONFIG_FIELD_TYPES = {
+    field.name: str(field.type) for field in dataclasses.fields(SystemConfig)
+}
+
+
+def _parse_axis(setting: str) -> tuple[str, list[object]]:
+    """Parse one ``--set field=v1,v2`` grid axis, typed per the config."""
+    key, separator, raw = setting.partition("=")
+    key = key.strip()
+    if not separator or not raw.strip():
+        raise ConfigError(f"--set expects field=v1,v2..., got {setting!r}")
+    field_type = _CONFIG_FIELD_TYPES.get(key)
+    if field_type is None:
+        raise ConfigError(
+            f"unknown SystemConfig field {key!r} in --set {setting!r}"
+        )
+    parse = _AXIS_PARSERS.get(field_type, str)
+    return key, [parse(part.strip()) for part in raw.split(",") if part.strip()]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Declarative grid sweep over engines × seeds × config overrides."""
+    names = [name.strip() for name in args.engines.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ENGINE_NAMES]
+    if unknown:
+        print(f"unknown engines: {unknown}; see `engines`", file=sys.stderr)
+        return 2
+    try:
+        seeds = _parse_seeds(args.seeds)
+        axes = dict(_parse_axis(setting) for setting in args.set or [])
+        specs = expand_grid(
+            names,
+            seeds=seeds,
+            scale=args.scale,
+            duration_s=args.duration,
+            scan_mode=args.scan,
+            axes=axes,
+        )
+    except (ConfigError, ValueError) as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"sweep: {len(specs)} runs "
+        f"({len(names)} engines × {len(seeds)} seeds"
+        + "".join(f" × {len(vals)} {key}" for key, vals in axes.items())
+        + f") with jobs={args.jobs}",
+        file=sys.stderr,
+    )
+    outcome = run_sweep(specs, jobs=args.jobs)
+    payload = outcome.to_payload(args.name)
+    if args.out:
+        path = outcome.write_payload(args.out, args.name)
+        print(f"sweep payload written to {path}", file=sys.stderr)
+    if args.out_dir:
+        outcome.write_payload(
+            Path(args.out_dir) / f"BENCH_{args.name}.json", args.name
+        )
+        paths = outcome.write_runs(args.out_dir)
+        print(
+            f"{len(paths)} full per-run results written to {args.out_dir}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            cell.key,
+            str(cell.replicas),
+            f"{cell.stats['hit_ratio']['mean']:.3f} ± "
+            f"{cell.stats['hit_ratio']['std']:.3f}",
+            f"{cell.stats['throughput_qps']['mean']:,.0f} ± "
+            f"{cell.stats['throughput_qps']['std']:,.0f}",
+            f"{cell.stats['latency_p99_ms']['mean']:.2f}",
+        ]
+        for cell in outcome.cells()
+    ]
+    print(ascii_table(
+        ["cell", "n", "hit mean±std", "QPS mean±std", "p99 ms"], rows
+    ))
+    print(
+        f"\n{len(outcome.outcomes)} runs in {outcome.wall_clock_s:.1f}s "
+        f"with jobs={outcome.jobs} "
+        f"(serial estimate {outcome.serial_estimate_s:.1f}s, "
+        f"speedup {outcome.speedup:.2f}x)"
+    )
     return 0
 
 
@@ -328,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run summary as JSON instead of tables",
     )
     _add_common(run)
+    _add_replication(run)
     run.set_defaults(func=cmd_run)
 
     compare = commands.add_parser("compare", help="run several engines")
@@ -342,7 +557,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="print all run summaries as a JSON list",
     )
     _add_common(compare)
+    _add_replication(compare)
     compare.set_defaults(func=cmd_compare)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="parallel grid sweep: engines × seeds × config overrides",
+    )
+    sweep.add_argument(
+        "--engines",
+        default="blsm,leveldb,lsbm",
+        help="comma-separated engine names",
+    )
+    sweep.add_argument(
+        "--seeds",
+        default="0",
+        help="comma-separated seeds replicated per cell (default 0)",
+    )
+    sweep.add_argument(
+        "--set",
+        action="append",
+        metavar="FIELD=V1,V2",
+        help="add a config-override axis, e.g. --set trim_interval_s=10,30 "
+        "(repeatable; axes multiply)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial, same results)",
+    )
+    sweep.add_argument(
+        "--scale",
+        type=int,
+        default=2048,
+        help="linear size scale vs the paper's setup (default 2048)",
+    )
+    sweep.add_argument(
+        "--duration",
+        type=int,
+        default=8000,
+        help="virtual seconds per run (paper: 20000)",
+    )
+    sweep.add_argument(
+        "--scan",
+        action="store_true",
+        help="drive range queries instead of point reads",
+    )
+    sweep.add_argument(
+        "--name", default="sweep", help="payload name (default sweep)"
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="print the bench-schema payload as JSON",
+    )
+    sweep.add_argument(
+        "--out", help="write the bench-schema payload to this file"
+    )
+    sweep.add_argument(
+        "--out-dir",
+        help="write the payload plus one lossless JSON per run here",
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     trace = commands.add_parser(
         "trace", help="run one engine, record its events as JSONL"

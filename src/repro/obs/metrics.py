@@ -97,6 +97,42 @@ class Reservoir:
         )
         return ordered[rank]
 
+    def __eq__(self, other: object) -> bool:
+        """Equal iff the retained sample and stream length agree.
+
+        RNG state is deliberately excluded: a reservoir restored by
+        :meth:`from_dict` compares equal to its source.
+        """
+        if not isinstance(other, Reservoir):
+            return NotImplemented
+        return (
+            self.capacity == other.capacity
+            and self.count == other.count
+            and self._samples == other._samples
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly state: capacity, stream length, retained sample."""
+        return {
+            "capacity": self.capacity,
+            "count": self.count,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Reservoir":
+        """Rebuild a reservoir from :meth:`to_dict` output.
+
+        The retained sample and stream length are restored exactly (so
+        percentiles and the round-trip are lossless); the replacement RNG
+        restarts from its seed, which only matters if the restored
+        reservoir keeps observing — transport happens on finished runs.
+        """
+        reservoir = cls(capacity=int(payload["capacity"]))
+        reservoir._samples = [float(value) for value in payload["samples"]]
+        reservoir.count = int(payload["count"])
+        return reservoir
+
 
 class Counter:
     """A monotonically increasing metric."""

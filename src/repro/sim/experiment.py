@@ -2,13 +2,21 @@
 
 Each of the paper's tests is "pick an engine variant, preload the 20 GB
 data set, run the RangeHot workload for 20,000 s while writing at 1,000
-OPS".  :func:`run_experiment` packages that; benchmarks and examples call
-it with different engines, durations and scales.
+OPS".  The declarative core is :func:`execute`, which materializes one
+:class:`~repro.sim.spec.ExperimentSpec`; :func:`run_experiment` and
+:func:`run_profiled` are thin imperative wrappers over it.
+
+Engine variants are declared in :data:`ENGINE_SPECS` — one
+:class:`EngineSpec` per variant, naming its constructor and cache wiring
+— and :data:`ENGINE_NAMES` is derived from that registry, so the engine
+list has exactly one definition (the CLI, the check harness and the
+benchmarks all import it from here).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.cache.db_cache import DBBufferCache
 from repro.cache.os_cache import OSBufferCache
@@ -23,6 +31,7 @@ from repro.obs.prof import DEFAULT_SAMPLE_EVERY, SpanProfiler
 from repro.obs.trace import TraceRecorder
 from repro.sim.driver import MixedReadWriteDriver
 from repro.sim.metrics import RunResult
+from repro.sim.spec import ExperimentSpec
 from repro.sstable.entry import Entry
 from repro.storage.disk import SimulatedDisk
 from repro.substrate import Substrate
@@ -30,21 +39,6 @@ from repro.variants.hbase import HBaseStyleStore
 from repro.variants.kv_store import KVCachedBLSM
 from repro.variants.warmup import WarmupBLSMTree
 from repro.workload.ycsb import RangeHotWorkload
-
-#: Engine registry: name -> constructor(config, clock, disk, caches...).
-ENGINE_NAMES = (
-    "leveldb",
-    "leveldb-oscache",
-    "blsm",
-    "blsm-dual",
-    "sm",
-    "lsbm",
-    "lsbm-dual",
-    "blsm+warmup",
-    "blsm+kvcache",
-    "hbase",
-    "hbase-nomajor",
-)
 
 #: The dual-cache stacks model the paper's actual memory layout
 #: (Section VI-A): 6 GB DB cache plus "the rest memory space is shared by
@@ -54,6 +48,108 @@ ENGINE_NAMES = (
 #: invalidated DB blocks sometimes reload cheaply from pages the
 #: compaction just wrote.
 _DUAL_OS_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Declarative description of one engine variant.
+
+    ``wiring`` selects the cache stack the substrate is created with:
+
+    * ``"db"``   — a DB block cache sized to ``config.cache_blocks``;
+    * ``"os"``   — an OS page cache only (the Fig. 2 configuration);
+    * ``"dual"`` — DB cache plus a quarter-budget OS page cache;
+    * ``"self"`` — no caches up front: the engine carves its own cache
+      hierarchy out of a bare substrate (the K-V cached variant) and the
+      setup adopts the engine's ``db_cache``/``substrate``.
+    """
+
+    name: str
+    factory: Callable[[Substrate], object]
+    wiring: str = "db"
+    summary: str = ""
+
+
+#: The single source of truth for engine variants.  Order is the
+#: presentation order everywhere (CLI listings, conformance sweeps).
+ENGINE_SPECS: dict[str, EngineSpec] = {
+    spec.name: spec
+    for spec in (
+        EngineSpec(
+            "leveldb",
+            lambda substrate: LevelDBTree(substrate=substrate),
+            "db",
+            "LevelDB-style leveled tree with a DB block cache",
+        ),
+        EngineSpec(
+            "leveldb-oscache",
+            lambda substrate: LevelDBTree(substrate=substrate),
+            "os",
+            "LevelDB on an OS page cache only (Fig. 2 configuration)",
+        ),
+        EngineSpec(
+            "blsm",
+            lambda substrate: BLSMTree(substrate=substrate),
+            "db",
+            "bLSM: gear-scheduled leveled tree",
+        ),
+        EngineSpec(
+            "blsm-dual",
+            lambda substrate: BLSMTree(substrate=substrate),
+            "dual",
+            "bLSM with DB cache + quarter-budget OS page cache",
+        ),
+        EngineSpec(
+            "sm",
+            lambda substrate: SMTree(substrate=substrate),
+            "db",
+            "Stepped-merge tree: lazy multi-table levels",
+        ),
+        EngineSpec(
+            "lsbm",
+            lambda substrate: LSbMTree(substrate=substrate),
+            "db",
+            "LSbM-tree: bLSM plus the compaction buffer",
+        ),
+        EngineSpec(
+            "lsbm-dual",
+            lambda substrate: LSbMTree(substrate=substrate),
+            "dual",
+            "LSbM with DB cache + quarter-budget OS page cache",
+        ),
+        EngineSpec(
+            "blsm+warmup",
+            lambda substrate: WarmupBLSMTree(substrate=substrate),
+            "db",
+            "bLSM with incremental cache warm-up after compactions",
+        ),
+        EngineSpec(
+            "blsm+kvcache",
+            lambda substrate: KVCachedBLSM(substrate=substrate),
+            "self",
+            "bLSM behind a key-value row cache (half the cache budget)",
+        ),
+        EngineSpec(
+            "hbase",
+            lambda substrate: HBaseStyleStore(
+                substrate=substrate, major_interval_s=5_000
+            ),
+            "db",
+            "HBase-style store with periodic major compactions",
+        ),
+        EngineSpec(
+            "hbase-nomajor",
+            lambda substrate: HBaseStyleStore(
+                substrate=substrate, major_interval_s=None
+            ),
+            "db",
+            "HBase-style store with major compactions disabled",
+        ),
+    )
+}
+
+#: Engine names, in registry order — derived, never listed twice.
+ENGINE_NAMES: tuple[str, ...] = tuple(ENGINE_SPECS)
 
 
 @dataclass
@@ -70,60 +166,38 @@ class ExperimentSetup:
 
 
 def build_engine(name: str, config: SystemConfig) -> ExperimentSetup:
-    """Construct one engine variant with its cache stack.
+    """Construct one engine variant with its declared cache stack.
 
     Every variant is wired through one :class:`~repro.substrate.Substrate`
     so its disk and caches publish into the same metrics registry and
-    event bus.  ``leveldb-oscache`` is the Fig. 2 configuration: no DB
-    cache, all reads (queries *and* compactions) share the OS page cache.
+    event bus.  The variant's constructor and cache wiring come from its
+    :class:`EngineSpec` in :data:`ENGINE_SPECS`.
     """
+    spec = ENGINE_SPECS.get(name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
+        )
+
     db_cache: DBBufferCache | None = None
     os_cache: OSBufferCache | None = None
-
-    if name == "leveldb-oscache":
+    if spec.wiring in ("db", "dual"):
+        db_cache = DBBufferCache(config.cache_blocks)
+    if spec.wiring == "os":
         os_cache = OSBufferCache(
             capacity_pages=config.cache_blocks, page_size_kb=config.block_size_kb
         )
-        substrate = Substrate.create(config, os_cache=os_cache)
-        engine: object = LevelDBTree(substrate=substrate)
-    elif name == "blsm+kvcache":
-        substrate = Substrate.create(config)
-        engine = KVCachedBLSM(substrate=substrate)
-        db_cache = engine.db_cache
-        substrate = engine.substrate  # The cache-bound sibling.
-    elif name in ("blsm-dual", "lsbm-dual"):
-        db_cache = DBBufferCache(config.cache_blocks)
+    elif spec.wiring == "dual":
         os_cache = OSBufferCache(
             capacity_pages=max(1, int(config.cache_blocks * _DUAL_OS_FRACTION)),
             page_size_kb=config.block_size_kb,
         )
-        substrate = Substrate.create(config, db_cache=db_cache, os_cache=os_cache)
-        cls = BLSMTree if name == "blsm-dual" else LSbMTree
-        engine = cls(substrate=substrate)
-    elif name in ("hbase", "hbase-nomajor"):
-        db_cache = DBBufferCache(config.cache_blocks)
-        substrate = Substrate.create(config, db_cache=db_cache)
-        engine = HBaseStyleStore(
-            substrate=substrate,
-            major_interval_s=5_000 if name == "hbase" else None,
-        )
-    else:
-        db_cache = DBBufferCache(config.cache_blocks)
-        classes = {
-            "leveldb": LevelDBTree,
-            "blsm": BLSMTree,
-            "sm": SMTree,
-            "lsbm": LSbMTree,
-            "blsm+warmup": WarmupBLSMTree,
-        }
-        try:
-            cls = classes[name]
-        except KeyError:
-            raise ConfigError(
-                f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
-            ) from None
-        substrate = Substrate.create(config, db_cache=db_cache)
-        engine = cls(substrate=substrate)
+
+    substrate = Substrate.create(config, db_cache=db_cache, os_cache=os_cache)
+    engine = spec.factory(substrate)
+    if spec.wiring == "self":
+        db_cache = engine.db_cache
+        substrate = engine.substrate  # The cache-bound sibling.
 
     return ExperimentSetup(
         engine,
@@ -159,9 +233,8 @@ def _drive(
 ) -> RunResult:
     """Preload (optionally) and drive one wired stack to a result.
 
-    Shared by :func:`run_experiment` and :func:`run_profiled`: the result
-    always carries the substrate registry's closing snapshot in
-    ``result.metrics``.
+    The result always carries the substrate registry's closing snapshot
+    in ``result.metrics``.
     """
     if do_preload:
         preload(setup)
@@ -196,6 +269,52 @@ def _finalize_trace(
     )
 
 
+def execute_with_trace(
+    spec: ExperimentSpec,
+) -> tuple[RunResult, TraceRecorder | None]:
+    """Materialize one spec: build, preload, drive; return result + trace.
+
+    A :class:`~repro.obs.trace.TraceRecorder` is attached (before the
+    preload, so the file-lifecycle ledger balances) whenever the spec
+    asks for profiling or a trace file; a
+    :class:`~repro.obs.prof.SpanProfiler` samples reads when
+    ``spec.profile`` is set.  ``spec.trace_path`` additionally writes the
+    JSONL trace.
+    """
+    config = spec.config()
+    setup = build_engine(spec.engine, config)
+    recorder: TraceRecorder | None = None
+    if spec.profile or spec.trace_path is not None:
+        recorder = TraceRecorder(setup.clock, setup.substrate.bus)
+    profiler: SpanProfiler | None = None
+    if spec.profile:
+        profiler = SpanProfiler(
+            bus=setup.substrate.bus, config=config, sample_every=spec.sample_every
+        )
+    result = _drive(
+        setup,
+        spec.duration_s,
+        spec.seed,
+        spec.scan_mode,
+        spec.do_preload,
+        profiler=profiler,
+    )
+    if recorder is not None:
+        _finalize_trace(setup, spec.engine, recorder)
+        if spec.trace_path is not None:
+            recorder.write_jsonl(spec.trace_path)
+    return result, recorder
+
+
+def execute(spec: ExperimentSpec) -> RunResult:
+    """Materialize one :class:`ExperimentSpec` into its measured result.
+
+    This is the single entry point every runner — the CLI, the sweep
+    workers, the benchmarks — funnels through.
+    """
+    return execute_with_trace(spec)[0]
+
+
 def run_experiment(
     engine_name: str,
     config: SystemConfig,
@@ -207,21 +326,22 @@ def run_experiment(
 ) -> RunResult:
     """Build, preload and drive one engine; returns the measured series.
 
+    Thin wrapper: packages the arguments as an
+    :class:`~repro.sim.spec.ExperimentSpec` and calls :func:`execute`.
     With ``trace_path`` every engine event — including the preload's file
     creations, so the ledger reconciles — is recorded and written out as
     JSONL, closed by a ``TraceEnd`` line carrying the final disk state.
     """
-    setup = build_engine(engine_name, config)
-    recorder: TraceRecorder | None = None
-    if trace_path is not None:
-        # Attach before the preload: its bulk-loaded files are part of
-        # the file-lifecycle ledger the trace must balance.
-        recorder = TraceRecorder(setup.clock, setup.substrate.bus)
-    result = _drive(setup, duration_s, seed, scan_mode, do_preload)
-    if recorder is not None and trace_path is not None:
-        _finalize_trace(setup, engine_name, recorder)
-        recorder.write_jsonl(trace_path)
-    return result
+    spec = ExperimentSpec.from_config(
+        engine_name,
+        config,
+        duration_s=duration_s,
+        seed=seed,
+        scan_mode=scan_mode,
+        do_preload=do_preload,
+        trace_path=trace_path,
+    )
+    return execute(spec)
 
 
 def run_profiled(
@@ -236,23 +356,22 @@ def run_profiled(
 ) -> tuple[RunResult, TraceRecorder]:
     """Like :func:`run_experiment`, with the causal profiling layer on.
 
-    A :class:`~repro.obs.trace.TraceRecorder` is always attached (before
-    the preload, so the ledger balances) and a
-    :class:`~repro.obs.prof.SpanProfiler` samples every
-    ``sample_every``-th read into the same trace.  Returns the run result
-    *and* the finalized recorder, whose records feed
-    :func:`repro.obs.diagnose.diagnose_dips` and the ``repro report``
-    command; ``trace_path`` additionally writes the JSONL file.
+    Thin wrapper over :func:`execute_with_trace` with ``profile=True``.
+    Returns the run result *and* the finalized recorder, whose records
+    feed :func:`repro.obs.diagnose.diagnose_dips` and the ``repro
+    report`` command; ``trace_path`` additionally writes the JSONL file.
     """
-    setup = build_engine(engine_name, config)
-    recorder = TraceRecorder(setup.clock, setup.substrate.bus)
-    profiler = SpanProfiler(
-        bus=setup.substrate.bus, config=config, sample_every=sample_every
+    spec = ExperimentSpec.from_config(
+        engine_name,
+        config,
+        duration_s=duration_s,
+        seed=seed,
+        scan_mode=scan_mode,
+        do_preload=do_preload,
+        profile=True,
+        sample_every=sample_every,
+        trace_path=trace_path,
     )
-    result = _drive(
-        setup, duration_s, seed, scan_mode, do_preload, profiler=profiler
-    )
-    _finalize_trace(setup, engine_name, recorder)
-    if trace_path is not None:
-        recorder.write_jsonl(trace_path)
+    result, recorder = execute_with_trace(spec)
+    assert recorder is not None  # profile=True always attaches one.
     return result, recorder

@@ -36,6 +36,30 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self.values)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.times == other.times
+            and self.values == other.values
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form: name plus parallel time/value lists."""
+        return {
+            "name": self.name,
+            "times": list(self.times),
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TimeSeries":
+        series = cls(payload["name"])
+        series.times = [int(time) for time in payload["times"]]
+        series.values = [float(value) for value in payload["values"]]
+        return series
+
     def mean(self, skip: int = 0) -> float:
         """Average of the samples after skipping ``skip`` warm-up samples."""
         window = self.values[skip:]
@@ -83,6 +107,17 @@ class TimeSeries:
                 crossings += 1
             above = is_above
         return crossings
+
+
+#: The per-second series bundled in every result, in declaration order.
+_SERIES_FIELDS = (
+    "hit_ratio",
+    "throughput_qps",
+    "db_size_mb",
+    "cache_usage",
+    "disk_utilization",
+    "buffer_size_mb",
+)
 
 
 @dataclass
@@ -144,6 +179,68 @@ class RunResult:
     def latency_percentile_s(self, percentile: float) -> float:
         """Read-latency percentile (e.g. 50, 99) over the whole run."""
         return self.read_latencies_s.percentile(percentile)
+
+    def to_dict(self) -> dict[str, object]:
+        """The *complete* run state as a JSON-friendly dict.
+
+        Unlike :meth:`to_json_dict` (a human-oriented summary), this is
+        the lossless transport format: every time series, the latency
+        reservoir's retained sample, event counts, per-cause bandwidth
+        and the metrics snapshot all round-trip exactly through
+        :meth:`from_dict` — it is how sweep workers ship results across
+        the process boundary.
+        """
+        return {
+            "engine": self.engine,
+            "config_note": self.config_note,
+            "duration_s": self.duration_s,
+            "reads_completed": self.reads_completed,
+            "writes_applied": self.writes_applied,
+            "series": {
+                name: getattr(self, name).to_dict() for name in _SERIES_FIELDS
+            },
+            "read_latencies_s": self.read_latencies_s.to_dict(),
+            "event_counts": dict(self.event_counts),
+            "bandwidth_by_cause": {
+                cause: series.to_dict()
+                for cause, series in sorted(self.bandwidth_by_cause.items())
+            },
+            "bandwidth_kb_by_cause": {
+                cause: dict(totals)
+                for cause, totals in sorted(self.bandwidth_kb_by_cause.items())
+            },
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (the worker
+        transport); the round-trip preserves equality."""
+        result = cls(
+            engine=payload["engine"],
+            config_note=payload.get("config_note", ""),
+            duration_s=int(payload["duration_s"]),
+            reads_completed=int(payload["reads_completed"]),
+            writes_applied=int(payload["writes_applied"]),
+        )
+        for name in _SERIES_FIELDS:
+            setattr(result, name, TimeSeries.from_dict(payload["series"][name]))
+        result.read_latencies_s = LatencyReservoir.from_dict(
+            payload["read_latencies_s"]
+        )
+        result.event_counts = {
+            name: int(count) for name, count in payload["event_counts"].items()
+        }
+        result.bandwidth_by_cause = {
+            cause: TimeSeries.from_dict(series)
+            for cause, series in payload["bandwidth_by_cause"].items()
+        }
+        result.bandwidth_kb_by_cause = {
+            cause: {kind: float(kb) for kind, kb in totals.items()}
+            for cause, totals in payload["bandwidth_kb_by_cause"].items()
+        }
+        result.metrics = dict(payload["metrics"])
+        return result
 
     def to_json_dict(self) -> dict[str, object]:
         """The run summary as a JSON-serializable dict (``cli --json``)."""

@@ -200,6 +200,174 @@ class TestReportCommand:
         assert any(r["event"] == "ReadSpan" for r in records)
 
 
+class TestSeedReplication:
+    def test_run_seeds_reports_mean_and_std(self, capsys):
+        code = main(
+            [
+                "run",
+                "--engine",
+                "lsbm",
+                "--scale",
+                "8192",
+                "--duration",
+                "200",
+                "--seeds",
+                "0,1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean±std" in out and "±" in out
+
+    def test_run_seeds_json_carries_replicas(self, capsys):
+        code = main(
+            [
+                "run",
+                "--engine",
+                "blsm",
+                "--scale",
+                "8192",
+                "--duration",
+                "200",
+                "--seeds",
+                "0,1,2",
+                "--jobs",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "blsm"
+        assert payload["seeds"] == [0, 1, 2]
+        assert len(payload["replicas"]) == 3
+        assert {r["seed"] for r in payload["replicas"]} == {0, 1, 2}
+        stats = payload["stats"]["hit_ratio"]
+        assert set(stats) == {"mean", "std", "min", "max"}
+
+    def test_run_seeds_rejects_csv(self, capsys):
+        code = main(
+            [
+                "run",
+                "--engine",
+                "lsbm",
+                "--seeds",
+                "0,1",
+                "--csv",
+                "out.csv",
+            ]
+        )
+        assert code == 2
+
+    def test_compare_seeds_json(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--engines",
+                "blsm,lsbm",
+                "--scale",
+                "8192",
+                "--duration",
+                "200",
+                "--seeds",
+                "0,1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        cells = json.loads(capsys.readouterr().out)
+        assert [c["engine"] for c in cells] == ["blsm", "lsbm"]
+        assert all(len(c["replicas"]) == 2 for c in cells)
+
+
+class TestSweepCommand:
+    def test_sweep_json_payload(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--engines",
+                "blsm,lsbm",
+                "--seeds",
+                "0,1",
+                "--scale",
+                "8192",
+                "--duration",
+                "150",
+                "--jobs",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert len(payload["runs"]) == 4
+        assert payload["scalars"]["sweep_jobs"] == 2.0
+        assert payload["scalars"]["sweep_runs"] == 4.0
+        assert len(payload["sweep"]["cells"]) == 2
+
+    def test_sweep_set_axis_and_out(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_axis.json"
+        code = main(
+            [
+                "sweep",
+                "--engines",
+                "lsbm",
+                "--seeds",
+                "0",
+                "--scale",
+                "8192",
+                "--duration",
+                "150",
+                "--set",
+                "trim_interval_s=10,30",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        labels = sorted(payload["runs"])
+        assert labels == [
+            "lsbm/x8192/trim_interval_s=10/t150/s0",
+            "lsbm/x8192/trim_interval_s=30/t150/s0",
+        ]
+
+    def test_sweep_out_dir_writes_per_run_results(self, tmp_path, capsys):
+        out_dir = tmp_path / "runs"
+        code = main(
+            [
+                "sweep",
+                "--engines",
+                "blsm",
+                "--seeds",
+                "0",
+                "--scale",
+                "8192",
+                "--duration",
+                "150",
+                "--name",
+                "mini",
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert (out_dir / "BENCH_mini.json").exists()
+        per_run = list(out_dir.glob("blsm_*.json"))
+        assert len(per_run) == 1
+
+    def test_sweep_rejects_unknown_set_field(self, capsys):
+        code = main(
+            ["sweep", "--engines", "lsbm", "--set", "bogus_field=1"]
+        )
+        assert code == 2
+        assert "bogus_field" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_engine(self, capsys):
+        assert main(["sweep", "--engines", "nope"]) == 2
+
+
 class TestCompareCommand:
     def test_compare_two_engines(self, capsys):
         code = main(
