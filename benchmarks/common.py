@@ -161,7 +161,11 @@ def write_report(name: str, text: str) -> None:
 
 
 #: Bench-telemetry JSON schema version (bump on breaking layout change).
-BENCH_SCHEMA_VERSION = 1
+#: Version 2: run entries must carry ``stall_seconds``; serve runs (from
+#: ``repro serve`` / the serve SLO benchmark) add ``"kind": "serve"``
+#: entries with per-class percentiles.  Keep in sync with
+#: ``repro.sim.sweep.SWEEP_SCHEMA_VERSION``.
+BENCH_SCHEMA_VERSION = 2
 
 #: Required per-run fields and their types, for :func:`validate_bench`.
 _BENCH_RUN_FIELDS = {
@@ -174,10 +178,24 @@ _BENCH_RUN_FIELDS = {
     "mean_db_size_mb": float,
     "latency_p50_ms": float,
     "latency_p99_ms": float,
+    "stall_seconds": float,
     "event_counts": dict,
     "bandwidth_kb_by_cause": dict,
     "wall_clock_s": float,
     "sim_ops_per_s": float,
+}
+
+#: Additional required fields for serve-kind run entries.
+_BENCH_SERVE_RUN_FIELDS = {
+    "policy": str,
+    "arrival": str,
+    "offered_read_qps": float,
+    "goodput_qps": float,
+    "max_queue_depth": int,
+    "shed": int,
+    "deferred": int,
+    "reconciliation_max_error_s": float,
+    "classes": dict,
 }
 
 
@@ -213,7 +231,10 @@ def validate_bench(payload: dict) -> None:
     for label, run in payload["runs"].items():
         if not isinstance(run, dict):
             raise ValueError(f"bench payload: runs[{label!r}] must be a dict")
-        for field, kind in _BENCH_RUN_FIELDS.items():
+        required = dict(_BENCH_RUN_FIELDS)
+        if run.get("kind") == "serve":
+            required.update(_BENCH_SERVE_RUN_FIELDS)
+        for field, kind in required.items():
             value = run.get(field)
             if kind is float and isinstance(value, int):
                 value = float(value)

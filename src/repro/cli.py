@@ -25,6 +25,10 @@ Usage (installed or via ``python -m repro.cli``):
     # record every engine event as a JSONL trace
     python -m repro.cli trace --engine lsbm --out trace.jsonl
 
+    # open-loop serving: latency vs offered load (the hockey stick)
+    python -m repro.cli serve --engines leveldb,lsbm --rate 2000,8000 \\
+        --policy fifo,read-priority --json
+
     # causal profiling report: span traces, per-cause disk bandwidth,
     # event-annotated hit-ratio curve, dip diagnosis
     python -m repro.cli report --engine leveldb --duration 8000
@@ -359,6 +363,99 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Headers for the serve latency-vs-offered-load table.
+_SERVE_HEADERS = [
+    "run", "class", "offered", "goodput", "p50 ms", "p99 ms", "p99.9 ms",
+    "queue p99 ms", "shed", "deferred",
+]
+
+
+def _serve_rows(outcome) -> list[list[str]]:
+    """One row per run × client class from a serve sweep outcome."""
+    rows = []
+    for spec_outcome in outcome.outcomes:
+        result = spec_outcome.result
+        for name, stats in sorted(result.class_stats.items()):
+            rows.append(
+                [
+                    spec_outcome.spec.label(),
+                    name,
+                    format_qps(result.offered_read_qps)
+                    if stats.op != "write"
+                    else "-",
+                    format_qps(
+                        stats.completed * result.ops_scale / result.duration_s
+                    ),
+                    f"{stats.latency_s.percentile(50) * 1000:.2f}",
+                    f"{stats.latency_s.percentile(99) * 1000:.2f}",
+                    f"{stats.latency_s.percentile(99.9) * 1000:.2f}",
+                    f"{stats.queue_delay_s.percentile(99) * 1000:.2f}",
+                    str(stats.shed),
+                    str(stats.deferred),
+                ]
+            )
+    return rows
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Open-loop serving grid: engines × offered rates × policies."""
+    from repro.serve.scheduler import SCHEDULER_NAMES
+    from repro.serve.spec import expand_serve_grid
+
+    names = [name.strip() for name in args.engines.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ENGINE_NAMES]
+    if unknown:
+        print(f"unknown engines: {unknown}; see `engines`", file=sys.stderr)
+        return 2
+    policies = [p.strip() for p in args.policy.split(",") if p.strip()]
+    bad = [p for p in policies if p not in SCHEDULER_NAMES]
+    if bad:
+        print(
+            f"unknown policies: {bad}; choose from {SCHEDULER_NAMES}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        rates = [float(r) for r in args.rate.split(",") if r.strip()]
+        seeds = _parse_seeds(args.seeds)
+        specs = expand_serve_grid(
+            names,
+            rates,
+            policies,
+            seeds,
+            arrival=args.arrival,
+            scale=args.scale,
+            duration_s=args.duration,
+            queue_bound=args.queue_bound,
+        )
+    except (ConfigError, ValueError) as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"serve: {len(specs)} runs ({len(names)} engines × {len(rates)} "
+        f"rates × {len(policies)} policies × {len(seeds)} seeds), "
+        f"{args.arrival} arrivals, queue bound {args.queue_bound}, "
+        f"jobs={args.jobs}",
+        file=sys.stderr,
+    )
+    outcome = run_sweep(specs, jobs=args.jobs)
+    payload = outcome.to_payload(args.name)
+    if args.out:
+        path = outcome.write_payload(args.out, args.name)
+        print(f"serve payload written to {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(ascii_table(_SERVE_HEADERS, _serve_rows(outcome)))
+    print(
+        f"\n{len(outcome.outcomes)} runs in {outcome.wall_clock_s:.1f}s "
+        f"with jobs={outcome.jobs} "
+        f"(serial estimate {outcome.serial_estimate_s:.1f}s, "
+        f"speedup {outcome.speedup:.2f}x)"
+    )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     config = SystemConfig.paper_scaled(args.scale)
     print(
@@ -402,6 +499,34 @@ def _span_summary(records: list[dict]) -> dict[str, object]:
     return summary
 
 
+def _queueing_decomposition(records: list[dict]) -> dict[str, object]:
+    """Queueing delay vs service time over a trace's sampled spans.
+
+    Splits every ReadSpan with :func:`repro.obs.prof.span_queueing_split`
+    and aggregates: mean/max of both components, the queueing share of
+    total sampled time, and the count of spans that queued at all.
+    Returns ``{"count": 0}`` when the trace holds no spans, so callers
+    degrade gracefully.
+    """
+    from repro.obs.prof import span_queueing_split
+
+    spans = [r for r in records if r.get("event") == "ReadSpan"]
+    summary: dict[str, object] = {"count": len(spans)}
+    if not spans:
+        return summary
+    splits = [span_queueing_split(span) for span in spans]
+    total = sum(s["total_s"] for s in splits) or 1.0
+    queueing = [s["queueing_s"] for s in splits]
+    service = [s["service_s"] for s in splits]
+    summary["mean_queueing_s"] = sum(queueing) / len(splits)
+    summary["mean_service_s"] = sum(service) / len(splits)
+    summary["max_queueing_s"] = max(queueing)
+    summary["max_service_s"] = max(service)
+    summary["queueing_share"] = sum(queueing) / total
+    summary["spans_queued"] = sum(1 for q in queueing if q > 0)
+    return summary
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Profiled run: spans + per-cause bandwidth + dip diagnosis."""
     from repro.obs.diagnose import diagnose_dips, format_dip_report
@@ -426,11 +551,13 @@ def cmd_report(args: argparse.Namespace) -> int:
         result.hit_ratio, recorder.records, threshold=args.dip_threshold
     )
     spans = _span_summary(recorder.records)
+    queueing = _queueing_decomposition(recorder.records)
 
     if args.json:
         payload = result.to_json_dict()
         payload["dip_diagnosis"] = diagnosis.to_json_dict()
         payload["span_summary"] = spans
+        payload["queueing_decomposition"] = queueing
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
@@ -468,9 +595,32 @@ def cmd_report(args: argparse.Namespace) -> int:
         ]
         stage_rows.append(["total", f"{spans['mean_total_s'] * 1000:.3f}"])
         print(ascii_table(["stage", "mean ms"], stage_rows))
+        print()
+        print(
+            f"queueing delay vs service time "
+            f"({queueing['spans_queued']}/{queueing['count']} spans queued "
+            f"behind compaction I/O)"
+        )
+        print(ascii_table(
+            ["component", "mean ms", "max ms"],
+            [
+                [
+                    "queueing delay",
+                    f"{queueing['mean_queueing_s'] * 1000:.3f}",
+                    f"{queueing['max_queueing_s'] * 1000:.3f}",
+                ],
+                [
+                    "service time",
+                    f"{queueing['mean_service_s'] * 1000:.3f}",
+                    f"{queueing['max_service_s'] * 1000:.3f}",
+                ],
+            ],
+        ))
+        print(f"  queueing share of sampled read time: "
+              f"{queueing['queueing_share']:.1%}")
     else:
         print("read-path spans: none sampled (raise duration or lower "
-              "--sample-every)")
+              "--sample-every); queueing decomposition unavailable")
     if args.trace_out:
         print(f"\ntrace written to {args.trace_out}", file=sys.stderr)
     return 0
@@ -620,6 +770,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the payload plus one lossless JSON per run here",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    serve = commands.add_parser(
+        "serve",
+        help="open-loop serving: latency vs offered load per policy",
+    )
+    serve.add_argument(
+        "--engines",
+        default="leveldb,lsbm",
+        help="comma-separated engine names",
+    )
+    serve.add_argument(
+        "--rate",
+        default="2000,8000",
+        help="comma-separated offered read rates in paper-scale QPS",
+    )
+    serve.add_argument(
+        "--policy",
+        default="fifo",
+        help="comma-separated scheduling policies "
+        "(fifo, read-priority, weighted-fair)",
+    )
+    serve.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=("poisson", "bursty"),
+        help="arrival process for all client classes (default poisson)",
+    )
+    serve.add_argument(
+        "--queue-bound",
+        type=int,
+        default=64,
+        help="total request-queue depth bound (default 64)",
+    )
+    serve.add_argument(
+        "--seeds",
+        default="0",
+        help="comma-separated seeds replicated per cell (default 0)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial, same results)",
+    )
+    serve.add_argument(
+        "--scale",
+        type=int,
+        default=2048,
+        help="linear size scale vs the paper's setup (default 2048)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=int,
+        default=2000,
+        help="virtual seconds per run (default 2000)",
+    )
+    serve.add_argument(
+        "--name", default="serve", help="payload name (default serve)"
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="print the bench-schema payload as JSON",
+    )
+    serve.add_argument(
+        "--out", help="write the bench-schema payload to this file"
+    )
+    serve.set_defaults(func=cmd_serve)
 
     trace = commands.add_parser(
         "trace", help="run one engine, record its events as JSONL"

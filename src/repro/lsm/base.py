@@ -123,6 +123,10 @@ class EngineStats:
     compaction_read_kb: float = 0.0
     compaction_write_kb: float = 0.0
     obsolete_entries_dropped: int = 0
+    #: Cumulative virtual seconds writers spent blocked on a full write
+    #: buffer (see :meth:`LSMEngine.run_compactions`); the single source
+    #: both admission control and reports read write-stall pressure from.
+    stall_seconds: float = 0.0
 
 
 @dataclass
@@ -199,6 +203,7 @@ class LSMEngine(ABC):
         self._m_compaction_write_kb = self.registry.counter(
             "engine.compaction_write_kb"
         )
+        self._m_stall_seconds = self.registry.counter("engine.stall_seconds")
         self._seq = 0
         #: Highest flushed seq whose WAL prefix still awaits truncation.
         #: Truncation is deferred to the end of the compaction pass so a
@@ -229,6 +234,21 @@ class LSMEngine(ABC):
         reports ``None`` so samplers can skip the series entirely.
         """
         return None
+
+    @property
+    def l0_pressure(self) -> float:
+        """Write-buffer fullness as a fraction of ``S0``.
+
+        At 1.0 the buffer is full and the next write blocks behind the
+        drain; gear-scheduled engines override this to count the on-disk
+        ``C0'`` half of level 0 as well.
+        """
+        return self.memtable.size_kb / self.config.level0_size_kb
+
+    @property
+    def write_stalled(self) -> bool:
+        """True when the write buffer is full and writes would block."""
+        return self.l0_pressure >= 1.0
 
     # ------------------------------------------------------------------
     # Write path (shared).
@@ -284,8 +304,28 @@ class LSMEngine(ABC):
         log that still covers every unflushed write (replay is idempotent
         — same key, same seq — even for records whose data did reach
         disk).
+
+        When the pass starts with the write buffer at or over ``S0``
+        (:attr:`write_stalled`), the writer that triggered it is blocked
+        until the drain makes room — a *write stall*.  The pass's
+        sequential device traffic at the background bandwidth is the
+        modeled stall duration, accrued into ``stats.stall_seconds`` and
+        the ``engine.stall_seconds`` counter so admission control, the
+        driver's stall series and reports all read one source.
         """
+        stalled = self.write_stalled
+        if stalled:
+            disk_stats = self.disk.stats
+            before_kb = disk_stats.seq_read_kb + disk_stats.seq_write_kb
         self._do_compactions()
+        if stalled:
+            moved_kb = (
+                disk_stats.seq_read_kb + disk_stats.seq_write_kb - before_kb
+            )
+            if moved_kb > 0:
+                stall_s = moved_kb / self.config.seq_bandwidth_kb_per_s
+                self.stats.stall_seconds += stall_s
+                self._m_stall_seconds.inc(stall_s)
         self._apply_pending_wal_truncate()
 
     @abstractmethod

@@ -67,6 +67,11 @@ class BLSMTree(LSMEngine):
         """The draining run of ``level`` (C0' for level 0, else Ci')."""
         return self.c0_prime if level == 0 else self.cp[level]
 
+    @property
+    def l0_pressure(self) -> float:
+        """Gear level 0 counts both the memtable and the C0' run."""
+        return self.level_total_kb(0) / self.config.level0_size_kb
+
     # ------------------------------------------------------------------
     # The gear scheduler (Algorithm 1's control flow, without the
     # compaction-buffer lines — LSbM adds those by overriding hooks).

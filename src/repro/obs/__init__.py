@@ -35,7 +35,9 @@ from repro.obs.events import (
     FileDiscarded,
     FlushDone,
     ReadSpan,
+    RequestShed,
     TrimRun,
+    WriteDeferred,
 )
 from repro.obs.metrics import (
     NULL_REGISTRY,
@@ -69,10 +71,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ReadSpan",
+    "RequestShed",
     "Reservoir",
     "SpanProfiler",
     "TraceRecorder",
     "TrimRun",
+    "WriteDeferred",
     "diagnose_dips",
     "find_dips",
     "format_dip_report",

@@ -22,6 +22,8 @@ event                     emitted when
 :class:`BufferFrozen`     a compaction-buffer level froze (repeated data)
 :class:`BufferUnfrozen`   a frozen level rotated and resumed buffering
 :class:`ReadSpan`         the span profiler sampled one read's path
+:class:`RequestShed`      the service layer dropped a request (admission)
+:class:`WriteDeferred`    admission control deferred a write with retry-after
 ========================= ==================================================
 
 The file events form a *ledger*: every ``FileCreated`` must eventually be
@@ -163,6 +165,36 @@ class ReadSpan:
     utilization: float
 
 
+@dataclass(frozen=True, slots=True)
+class RequestShed:
+    """The service layer dropped one request instead of queueing it.
+
+    ``reason`` says why: "queue-full" when the bounded scheduler queue
+    rejected it, "queue-pressure" or "write-stall" when admission control
+    gave up on a write that exhausted its retries.
+    """
+
+    klass: str
+    op: str
+    reason: str
+    retries: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class WriteDeferred:
+    """Admission control pushed a write back with a retry-after time.
+
+    The client class is told to re-present the write at ``retry_at_s``
+    (virtual seconds); ``reason`` is the backpressure signal that fired
+    ("queue-pressure" or "write-stall").
+    """
+
+    klass: str
+    retry_at_s: float
+    reason: str
+    retries: int = 0
+
+
 #: Union of every event type, for subscribers that want static typing.
 Event = (
     FlushDone
@@ -175,6 +207,8 @@ Event = (
     | BufferFrozen
     | BufferUnfrozen
     | ReadSpan
+    | RequestShed
+    | WriteDeferred
 )
 
 Handler = Callable[[Event], None]

@@ -146,6 +146,31 @@ class SpanProfiler:
         )
 
 
+def span_queueing_split(record: dict) -> dict[str, float]:
+    """Split one ReadSpan record into queueing delay vs base service time.
+
+    The cost model inflates a span's disk stages by the M/M/1 factor
+    ``f = queueing_factor(utilization)``; the *base* device time is the
+    inflated time divided by ``f``, and the difference is time the read
+    spent queued behind compaction I/O.  CPU, Bloom and cache stages
+    never queue, so ``queueing_s + service_s == total_s`` exactly — the
+    reconciliation ``repro report`` asserts when rendering the
+    decomposition.
+
+    ``record`` is a trace record (or ``dataclasses.asdict`` form) of a
+    :class:`~repro.obs.events.ReadSpan`.
+    """
+    factor = IOCostModel.queueing_factor(record["utilization"])
+    disk_s = record["disk_random_s"] + record["disk_seq_s"]
+    queueing_s = disk_s * (1.0 - 1.0 / factor)
+    return {
+        "queueing_s": queueing_s,
+        "service_s": record["total_s"] - queueing_s,
+        "total_s": record["total_s"],
+        "queueing_factor": factor,
+    }
+
+
 #: Shared disabled profiler: the driver binds to this when nobody asked
 #: for spans, making the per-read hook one attribute check and a return.
 NULL_PROFILER = SpanProfiler(enabled=False)

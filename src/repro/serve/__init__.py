@@ -1,0 +1,53 @@
+"""repro.serve — the open-loop service layer over the engines.
+
+Every driver in :mod:`repro.sim` is closed-loop: the next operation is
+issued only when the previous one completes, so the measured numbers are
+throughput and hit ratio, never tail latency.  Production stores face the
+opposite regime — requests arrive whether or not the system keeps up —
+and the phenomena the ROADMAP north star cares about (queueing delay,
+p99 under load, write stalls surfacing as latency spikes, backpressure)
+only exist under open-loop load.
+
+The layer has four pieces, wired end-to-end by
+:func:`~repro.serve.service.execute_serve`:
+
+* :mod:`repro.serve.arrivals` — seeded Poisson / bursty (two-state MMPP)
+  arrival processes per client class, keyed by the existing workload
+  generators;
+* :mod:`repro.serve.scheduler` — bounded request queues with pluggable
+  policies (FIFO, read-priority, weighted-fair across classes);
+* :mod:`repro.serve.admission` — backpressure: writes are deferred with a
+  retry-after (and eventually shed) when queue depth or the engine's
+  write-stall signal crosses thresholds;
+* :mod:`repro.serve.service` — the per-tick simulator that dispatches
+  queued requests against an engine under the thread-budget cost model
+  and accounts every request's queueing delay and service time.
+
+:class:`~repro.serve.spec.ServiceSpec` is the declarative, picklable
+description of one serve run; it plugs straight into
+:func:`repro.sim.sweep.run_sweep`, so offered-load grids inherit the
+sweep runner's parallelism, determinism guarantee and bench payloads.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.arrivals import ClientClass, Request, generate_arrivals
+from repro.serve.result import ClassStats, ServeResult
+from repro.serve.scheduler import SCHEDULER_NAMES, make_scheduler
+from repro.serve.service import ServiceSimulator, execute_serve
+from repro.serve.spec import ServiceSpec, expand_serve_grid
+
+__all__ = [
+    "SCHEDULER_NAMES",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ClassStats",
+    "ClientClass",
+    "Request",
+    "ServeResult",
+    "ServiceSimulator",
+    "ServiceSpec",
+    "execute_serve",
+    "expand_serve_grid",
+    "generate_arrivals",
+    "make_scheduler",
+]

@@ -1,0 +1,92 @@
+"""Admission control: backpressure for the write path.
+
+Under open-loop load the engine cannot slow its clients down, so the
+service layer must: when the shared queue fills or the engine reports
+write stalls, incoming writes are *deferred* — handed back with a
+retry-after and re-offered later — and writes that keep being deferred
+past ``max_retries`` are *shed* (rejected outright).  Reads are never
+deferred; protecting read tail latency is the point of pushing back on
+writes, mirroring RocksDB-style write throttling.
+
+Every decision is observable: the service layer emits
+:class:`~repro.obs.events.WriteDeferred` / ``RequestShed`` events on the
+engine bus and keeps per-class counters, so tests can assert that every
+lost request is attributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ConfigError
+from repro.serve.arrivals import Request
+
+#: Admission decisions, in increasing order of severity.
+ADMIT = "admit"
+DEFER = "defer"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Thresholds for the write-path backpressure decisions."""
+
+    #: The scheduler's total depth bound (sheds happen at this wall).
+    queue_bound: int = 64
+    #: Writes are deferred once depth reaches this fraction of the bound.
+    admit_queue_fraction: float = 0.75
+    #: Virtual seconds a deferred write waits before re-offering.
+    retry_after_s: float = 5.0
+    #: Deferrals allowed before a write is shed.
+    max_retries: int = 3
+    #: Window (virtual seconds) over which recent stall time is summed.
+    stall_window_s: int = 30
+    #: Recent stall seconds above which writes are deferred.
+    stall_budget_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.queue_bound < 1:
+            raise ConfigError("queue_bound must be >= 1")
+        if not 0.0 < self.admit_queue_fraction <= 1.0:
+            raise ConfigError("admit_queue_fraction must be in (0, 1]")
+        if self.retry_after_s <= 0:
+            raise ConfigError("retry_after_s must be > 0")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.stall_window_s < 1:
+            raise ConfigError("stall_window_s must be >= 1")
+        if self.stall_budget_s < 0:
+            raise ConfigError("stall_budget_s must be >= 0")
+
+
+class AdmissionController:
+    """Applies one :class:`AdmissionPolicy` to incoming requests."""
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+        self._defer_depth = max(
+            1, int(policy.queue_bound * policy.admit_queue_fraction)
+        )
+
+    def decide(
+        self, request: Request, queue_depth: int, recent_stall_s: float
+    ) -> tuple[str, str]:
+        """(action, reason) for one arriving or retried request.
+
+        Reads and scans always admit — the scheduler's bound is their
+        only limit.  Writes defer under queue pressure or write-stall
+        pressure, escalating to shed after ``max_retries`` deferrals.
+        The reason string matches the emitted event's ``reason`` field.
+        """
+        if request.op != "write":
+            return ADMIT, ""
+        policy = self.policy
+        if queue_depth >= self._defer_depth:
+            reason = "queue-pressure"
+        elif recent_stall_s > policy.stall_budget_s:
+            reason = "write-stall"
+        else:
+            return ADMIT, ""
+        if request.retries >= policy.max_retries:
+            return SHED, reason
+        return DEFER, reason

@@ -1,0 +1,233 @@
+"""Open-loop arrival processes for the service layer.
+
+The closed-loop drivers issue the next read when the previous one
+finishes, so they can never observe queueing.  Here each *client class*
+(a named population of readers, scanners or writers) generates a
+timestamped request stream up front — a Poisson process or a two-state
+Markov-modulated Poisson process (MMPP-2) for bursty traffic — and the
+service simulator consumes the merged stream in arrival order.
+
+Rates are specified in paper-comparable QPS: one simulated request
+stands for ``ops_scale`` real requests, exactly as in the drivers, so a
+``rate_qps`` of 8,000 at scale 2,048 yields ~3.9 simulated arrivals per
+virtual second.
+
+Determinism: every stream draws from ``random.Random`` seeded with a
+*string* (``f"{seed}/arrivals/{name}"``).  String seeds hash through
+SHA-512 inside CPython's ``random`` and are stable across processes and
+``PYTHONHASHSEED`` values, which the serve grid's jobs=1 ≡ jobs=N
+guarantee depends on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.config import ConfigError, SystemConfig
+from repro.workload.ycsb import RangeHotWorkload
+
+#: Supported per-class operation kinds.
+OPS = ("read", "scan", "write")
+
+#: Supported arrival processes.
+PROCESSES = ("poisson", "bursty")
+
+#: Guard against a spec whose rates would materialize an absurd arrival
+#: list (open-loop streams are generated up front, one object each).
+_MAX_TOTAL_ARRIVALS = 2_000_000
+
+
+@dataclass(frozen=True)
+class ClientClass:
+    """One open-loop client population.
+
+    ``rate_qps`` is the offered rate in real (paper-scale) operations
+    per second.  ``process`` selects Poisson or bursty (MMPP-2)
+    arrivals; the burst knobs only matter for the latter.  ``weight``
+    is consumed by the weighted-fair scheduler.
+    """
+
+    name: str
+    op: str
+    rate_qps: float
+    process: str = "poisson"
+    #: Bursty: arrival-rate multiplier while in the burst state.
+    burst_multiplier: float = 8.0
+    #: Bursty: long-run fraction of *arrivals* that occur in bursts.
+    burst_fraction: float = 0.1
+    #: Bursty: mean sojourn of one burst, in virtual seconds.
+    mean_burst_s: float = 20.0
+    #: Relative share under the weighted-fair scheduler.
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("client class needs a name")
+        if self.op not in OPS:
+            raise ConfigError(f"unknown op {self.op!r}; expected one of {OPS}")
+        if self.process not in PROCESSES:
+            raise ConfigError(
+                f"unknown arrival process {self.process!r}; "
+                f"expected one of {PROCESSES}"
+            )
+        if self.rate_qps < 0:
+            raise ConfigError(f"rate_qps must be >= 0, got {self.rate_qps}")
+        if self.burst_multiplier < 1.0:
+            raise ConfigError("burst_multiplier must be >= 1")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ConfigError("burst_fraction must be in (0, 1)")
+        if self.mean_burst_s <= 0:
+            raise ConfigError("mean_burst_s must be > 0")
+        if self.weight < 1:
+            raise ConfigError("weight must be >= 1")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "op": self.op,
+            "rate_qps": self.rate_qps,
+            "process": self.process,
+            "burst_multiplier": self.burst_multiplier,
+            "burst_fraction": self.burst_fraction,
+            "mean_burst_s": self.mean_burst_s,
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClientClass":
+        return cls(
+            name=payload["name"],
+            op=payload["op"],
+            rate_qps=float(payload["rate_qps"]),
+            process=payload.get("process", "poisson"),
+            burst_multiplier=float(payload.get("burst_multiplier", 8.0)),
+            burst_fraction=float(payload.get("burst_fraction", 0.1)),
+            mean_burst_s=float(payload.get("mean_burst_s", 20.0)),
+            weight=int(payload.get("weight", 1)),
+        )
+
+
+@dataclass(slots=True)
+class Request:
+    """One in-flight request from arrival to completion (or shedding)."""
+
+    seq: int
+    klass: str
+    op: str
+    key: int
+    #: Scan upper bound; unused for point ops.
+    key_high: int = 0
+    arrival_s: float = 0.0
+    #: Times this write was deferred and re-admitted by backpressure.
+    retries: int = 0
+
+
+def _arrival_times(
+    klass: ClientClass, sim_rate: float, duration_s: int, rng: random.Random
+) -> list[float]:
+    """Timestamps for one class over ``[0, duration_s)``."""
+    times: list[float] = []
+    if sim_rate <= 0.0:
+        return times
+    if klass.process == "poisson":
+        t = rng.expovariate(sim_rate)
+        while t < duration_s:
+            times.append(t)
+            t += rng.expovariate(sim_rate)
+        return times
+    # MMPP-2: base/burst states with exponential sojourns, chosen so the
+    # long-run average arrival rate equals ``sim_rate`` while a fraction
+    # ``burst_fraction`` of arrivals land in bursts running at
+    # ``burst_multiplier`` times the base rate.
+    # With ``frac`` of arrivals in bursts at ``mult`` times the base
+    # rate, the burst state covers a time fraction ``tf`` with
+    # tf/(1-tf) = (frac/mult)/(1-frac); the long-run average
+    # rb*(1-tf) + mult*rb*tf equals ``sim_rate`` exactly when
+    # rb = sim_rate * (1 - frac + frac/mult).
+    frac = klass.burst_fraction
+    mult = klass.burst_multiplier
+    base_rate = sim_rate * (1.0 - frac + frac / mult)
+    burst_rate = mult * base_rate
+    mean_burst = klass.mean_burst_s
+    # Sojourn means follow from rate × time balance:
+    #   frac = (burst_rate * mean_burst) / (burst_rate * mean_burst
+    #                                        + base_rate * mean_base)
+    mean_base = mean_burst * burst_rate * (1.0 - frac) / (base_rate * frac)
+    t = 0.0
+    in_burst = False
+    while t < duration_s:
+        sojourn = rng.expovariate(
+            1.0 / (mean_burst if in_burst else mean_base)
+        )
+        segment_end = min(t + sojourn, float(duration_s))
+        rate = burst_rate if in_burst else base_rate
+        arrival = t + rng.expovariate(rate)
+        while arrival < segment_end:
+            times.append(arrival)
+            arrival += rng.expovariate(rate)
+        t = segment_end
+        in_burst = not in_burst
+    return times
+
+
+def generate_arrivals(
+    classes: tuple[ClientClass, ...],
+    config: SystemConfig,
+    workload: RangeHotWorkload,
+    duration_s: int,
+    seed: int,
+) -> list[Request]:
+    """Materialize the merged, time-ordered request stream.
+
+    Keys come from the shared workload generator, so serve runs read and
+    write the same hot ranges the closed-loop figures use — the
+    invalidation dips that differentiate LevelDB from LSbM happen under
+    open-loop load too.
+    """
+    per_class: list[tuple[int, list[Request]]] = []
+    total = 0
+    for order, klass in enumerate(classes):
+        sim_rate = klass.rate_qps / config.ops_scale
+        times_rng = random.Random(f"{seed}/arrivals/{klass.name}")
+        keys_rng = random.Random(f"{seed}/{klass.name}/keys")
+        times = _arrival_times(klass, sim_rate, duration_s, times_rng)
+        total += len(times)
+        if total > _MAX_TOTAL_ARRIVALS:
+            raise ConfigError(
+                f"arrival stream exceeds {_MAX_TOTAL_ARRIVALS} requests; "
+                "lower rate_qps or duration_s (rates are paper-scale QPS, "
+                "divided by ops_scale for simulation)"
+            )
+        requests: list[Request] = []
+        for t in times:
+            key_high = 0
+            if klass.op == "write":
+                key = workload.next_write_key(keys_rng)
+            elif klass.op == "scan":
+                key, key_high = workload.next_scan_range(keys_rng)
+            else:
+                key = workload.next_read_key(keys_rng)
+            requests.append(
+                Request(
+                    seq=0,
+                    klass=klass.name,
+                    op=klass.op,
+                    key=key,
+                    key_high=key_high,
+                    arrival_s=t,
+                )
+            )
+        per_class.append((order, requests))
+    # Merge by (time, class declaration order, per-class index): the sort
+    # key never compares floats against identical floats ambiguously, so
+    # the merged order is deterministic.
+    merged: list[tuple[float, int, int, Request]] = []
+    for order, requests in per_class:
+        for idx, req in enumerate(requests):
+            merged.append((req.arrival_s, order, idx, req))
+    merged.sort(key=lambda item: (item[0], item[1], item[2]))
+    stream = [item[3] for item in merged]
+    for seq, req in enumerate(stream):
+        req.seq = seq
+    return stream

@@ -1,0 +1,161 @@
+"""Bounded request queues with pluggable scheduling policies.
+
+Every scheduler holds admitted-but-not-yet-dispatched requests under one
+total depth bound — the queue is the only buffer between the arrival
+process and the engine, so the bound is what turns overload into
+backpressure instead of unbounded queueing delay.
+
+Three policies:
+
+* ``fifo`` — one queue, strict arrival order;
+* ``read-priority`` — reads and scans always dispatch before writes
+  (writes still FIFO among themselves), the classic answer to writes
+  stalling the read path;
+* ``weighted-fair`` — deficit-free weighted round-robin across client
+  classes: a class with weight 3 gets three dispatch slots per cycle to
+  a weight-1 class's one, with empty classes skipped.
+
+All three are deterministic: same offer/pop sequence, same decisions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config import ConfigError
+from repro.serve.arrivals import ClientClass, Request
+
+#: Registry order is the CLI/help display order.
+SCHEDULER_NAMES = ("fifo", "read-priority", "weighted-fair")
+
+
+class Scheduler:
+    """Interface: a bounded buffer of admitted requests."""
+
+    def __init__(self, bound: int) -> None:
+        if bound < 1:
+            raise ConfigError(f"queue bound must be >= 1, got {bound}")
+        self.bound = bound
+
+    def offer(self, request: Request) -> bool:
+        """Enqueue; False means the queue is at its bound (caller sheds)."""
+        raise NotImplementedError
+
+    def pop(self) -> Request | None:
+        """Next request to dispatch, or None when empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FIFOScheduler(Scheduler):
+    """Strict arrival order, one shared queue."""
+
+    def __init__(self, bound: int) -> None:
+        super().__init__(bound)
+        self._queue: deque[Request] = deque()
+
+    def offer(self, request: Request) -> bool:
+        if len(self._queue) >= self.bound:
+            return False
+        self._queue.append(request)
+        return True
+
+    def pop(self) -> Request | None:
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class ReadPriorityScheduler(Scheduler):
+    """Reads and scans preempt writes; each side is FIFO internally."""
+
+    def __init__(self, bound: int) -> None:
+        super().__init__(bound)
+        self._reads: deque[Request] = deque()
+        self._writes: deque[Request] = deque()
+
+    def offer(self, request: Request) -> bool:
+        if len(self) >= self.bound:
+            return False
+        (self._writes if request.op == "write" else self._reads).append(request)
+        return True
+
+    def pop(self) -> Request | None:
+        if self._reads:
+            return self._reads.popleft()
+        if self._writes:
+            return self._writes.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._reads) + len(self._writes)
+
+
+class WeightedFairScheduler(Scheduler):
+    """Weighted round-robin across client classes.
+
+    The service cycle is precomputed from the class weights (class names
+    repeated ``weight`` times, in declaration order); ``pop`` walks the
+    cycle from where it last stopped, skipping classes with nothing
+    queued, so backlogged classes split dispatch slots in weight
+    proportion while an idle class costs nothing.
+    """
+
+    def __init__(self, bound: int, classes: tuple[ClientClass, ...]) -> None:
+        super().__init__(bound)
+        if not classes:
+            raise ConfigError("weighted-fair needs at least one client class")
+        self._queues: dict[str, deque[Request]] = {
+            klass.name: deque() for klass in classes
+        }
+        self._cycle: list[str] = []
+        for klass in classes:
+            self._cycle.extend([klass.name] * klass.weight)
+        self._cursor = 0
+        self._depth = 0
+
+    def offer(self, request: Request) -> bool:
+        if self._depth >= self.bound:
+            return False
+        queue = self._queues.get(request.klass)
+        if queue is None:
+            raise ConfigError(
+                f"request from unregistered class {request.klass!r}"
+            )
+        queue.append(request)
+        self._depth += 1
+        return True
+
+    def pop(self) -> Request | None:
+        if self._depth == 0:
+            return None
+        for step in range(len(self._cycle)):
+            slot = (self._cursor + step) % len(self._cycle)
+            queue = self._queues[self._cycle[slot]]
+            if queue:
+                self._cursor = (slot + 1) % len(self._cycle)
+                self._depth -= 1
+                return queue.popleft()
+        return None  # Unreachable while _depth is kept consistent.
+
+    def __len__(self) -> int:
+        return self._depth
+
+
+def make_scheduler(
+    policy: str, bound: int, classes: tuple[ClientClass, ...]
+) -> Scheduler:
+    """Build the named policy (see :data:`SCHEDULER_NAMES`)."""
+    if policy == "fifo":
+        return FIFOScheduler(bound)
+    if policy == "read-priority":
+        return ReadPriorityScheduler(bound)
+    if policy == "weighted-fair":
+        return WeightedFairScheduler(bound, classes)
+    raise ConfigError(
+        f"unknown scheduling policy {policy!r}; "
+        f"expected one of {SCHEDULER_NAMES}"
+    )

@@ -1,0 +1,430 @@
+"""The open-loop service simulator.
+
+:class:`ServiceSimulator` runs the serve tick loop: ingest this second's
+arrivals (and due write retries) through admission control into the
+bounded scheduler, let the engine do its compaction housekeeping, then
+dispatch queued requests against the engine under the same
+``read_threads`` thread-second budget — and the same
+:func:`~repro.sim.driver.price_read` arithmetic — as the closed-loop
+driver.  The one semantic difference is what latency means: here a
+request's latency is *queueing delay* (arrival to dispatch) plus
+*service time* (the priced engine work), which is exactly the quantity
+that hockey-sticks as offered load approaches capacity.
+
+Per-request accounting feeds :class:`~repro.serve.result.ServeResult`:
+per-class reservoirs for total latency and both components, shed and
+deferral counters that reconcile with the ``RequestShed`` /
+``WriteDeferred`` events on the bus, and a sampled set of raw requests
+whose ``queue_delay_s + service_s == total_s`` by construction.
+
+:func:`execute_serve` is the spec-to-result entry point the sweep
+workers call, mirroring :func:`repro.sim.experiment.execute`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.cache.stats import CacheStats
+from repro.config import SystemConfig
+from repro.obs.events import EventTally, RequestShed, WriteDeferred
+from repro.obs.prof import NULL_PROFILER, SpanProfiler
+from repro.serve.admission import ADMIT, DEFER, AdmissionController, AdmissionPolicy
+from repro.serve.arrivals import Request, generate_arrivals
+from repro.serve.result import ClassStats, ServeResult
+from repro.serve.scheduler import Scheduler, make_scheduler
+from repro.serve.spec import ServiceSpec
+from repro.sim.driver import price_read
+from repro.sim.metrics import TimeSeries
+from repro.storage.iomodel import IOCostModel
+from repro.workload.ycsb import RangeHotWorkload
+
+#: Hard cap on dispatches per tick (mirrors the driver's read cap).
+_MAX_DISPATCH_PER_TICK = 50_000
+
+#: Cap on retained per-request decomposition samples.
+_MAX_REQUEST_SAMPLES = 2_000
+
+
+class ServiceSimulator:
+    """Drives one engine under a pre-generated open-loop arrival stream."""
+
+    def __init__(
+        self,
+        engine,
+        config: SystemConfig,
+        clock,
+        arrivals: list[Request],
+        scheduler: Scheduler,
+        admission: AdmissionController,
+        profiler: SpanProfiler | None = None,
+        request_sample_every: int = 17,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.clock = clock
+        self.arrivals = arrivals
+        self.scheduler = scheduler
+        self.admission = admission
+        self.cost_model = IOCostModel(config)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.request_sample_every = max(1, request_sample_every)
+        self.metric_cache = engine.metric_cache
+        self.event_tally = EventTally(engine.bus)
+        #: Deferred writes waiting to re-offer: (retry_at_s, seq, request).
+        self._retry_heap: list[tuple[float, int, Request]] = []
+        #: (tick, stall seconds accrued that tick) for the admission window.
+        self._stall_window: deque[tuple[int, float]] = deque()
+        self._read_debt = 0.0
+        self._arrival_cursor = 0
+        self._completed_count = 0
+        self._last_cache_stats: CacheStats | None = None
+        self._last_hit_sample_tick: int | None = None
+        self.hit_ratio_window_s = 20
+
+    # ------------------------------------------------------------------
+    # The run loop.
+    # ------------------------------------------------------------------
+    def run(self, duration_s: int, sample_every: int = 1) -> ServeResult:
+        result = ServeResult(engine=self.engine.name, duration_s=duration_s)
+        for klass_name, op in self._class_ops():
+            result.class_stats[klass_name] = ClassStats(op=op)
+        events_before = dict(self.event_tally.counts)
+        stall_baseline = self.engine.stats.stall_seconds
+        stall_last = stall_baseline
+        bw_baseline = self._snapshot_cause_totals()
+        arrived_window = 0
+        last_sample_tick = 0
+        # Arrival timestamps are relative to the run's first tick; the
+        # engine keeps its own absolute clock (it may have ticked before).
+        start_tick = self.clock.now
+        for _ in range(duration_s):
+            now = self.clock.now - start_tick
+            arrived_window += self._ingest(now, result)
+            self.engine.tick(self.clock.now)
+            utilization = self.engine.disk.utilization()
+            reads = self._dispatch(now, utilization, result)
+            stall_total = self.engine.stats.stall_seconds
+            stall_tick = stall_total - stall_last
+            stall_last = stall_total
+            self._stall_window.append((now, stall_tick))
+            cutoff = now - self.admission.policy.stall_window_s
+            while self._stall_window and self._stall_window[0][0] <= cutoff:
+                self._stall_window.popleft()
+            if now % sample_every == 0:
+                dt = max(1, now - last_sample_tick) if now else 1
+                self._sample(
+                    now, reads, utilization, stall_tick, arrived_window / dt,
+                    result,
+                )
+                arrived_window = 0
+                last_sample_tick = now
+            self.clock.advance(1)
+        result.event_counts = {
+            name: count - events_before.get(name, 0)
+            for name, count in self.event_tally.counts.items()
+            if count - events_before.get(name, 0)
+        }
+        result.bandwidth_kb_by_cause = self._cause_window(bw_baseline)
+        result.stall_seconds = self.engine.stats.stall_seconds - stall_baseline
+        return result
+
+    def _class_ops(self) -> list[tuple[str, str]]:
+        seen: dict[str, str] = {}
+        for request in self.arrivals:
+            if request.klass not in seen:
+                seen[request.klass] = request.op
+        return list(seen.items())
+
+    # ------------------------------------------------------------------
+    # Ingestion: arrivals + due retries through admission control.
+    # ------------------------------------------------------------------
+    def _recent_stall_s(self) -> float:
+        return sum(stall for _, stall in self._stall_window)
+
+    def _ingest(self, now: int, result: ServeResult) -> int:
+        """Offer this second's arrivals and due retries; returns arrivals."""
+        new_arrivals = 0
+        horizon = now + 1.0
+        while True:
+            retry_due = (
+                self._retry_heap and self._retry_heap[0][0] < horizon
+            )
+            arrival_due = (
+                self._arrival_cursor < len(self.arrivals)
+                and self.arrivals[self._arrival_cursor].arrival_s < horizon
+            )
+            if retry_due and arrival_due:
+                # Interleave strictly by time so admission sees queue
+                # depth in event order.
+                retry_due = (
+                    self._retry_heap[0][0]
+                    <= self.arrivals[self._arrival_cursor].arrival_s
+                )
+                arrival_due = not retry_due
+            if retry_due:
+                _, _, request = heapq.heappop(self._retry_heap)
+                self._offer(request, result, is_retry=True)
+            elif arrival_due:
+                request = self.arrivals[self._arrival_cursor]
+                self._arrival_cursor += 1
+                new_arrivals += 1
+                self._offer(request, result, is_retry=False)
+            else:
+                break
+        return new_arrivals
+
+    def _offer(
+        self, request: Request, result: ServeResult, is_retry: bool
+    ) -> None:
+        stats = result.class_stats.setdefault(
+            request.klass, ClassStats(op=request.op)
+        )
+        if is_retry:
+            stats.retried += 1
+        else:
+            stats.arrived += 1
+        action, reason = self.admission.decide(
+            request, len(self.scheduler), self._recent_stall_s()
+        )
+        if action == DEFER:
+            request.retries += 1
+            retry_at = request.arrival_s + (
+                self.admission.policy.retry_after_s * request.retries
+            )
+            stats.deferred += 1
+            heapq.heappush(self._retry_heap, (retry_at, request.seq, request))
+            self.engine.bus.emit(
+                WriteDeferred(
+                    klass=request.klass,
+                    retry_at_s=retry_at,
+                    reason=reason,
+                    retries=request.retries,
+                )
+            )
+            return
+        if action == ADMIT:
+            if self.scheduler.offer(request):
+                stats.admitted += 1
+                depth = len(self.scheduler)
+                if depth > result.max_queue_depth:
+                    result.max_queue_depth = depth
+                return
+            reason = "queue-full"
+        stats.shed += 1
+        self.engine.bus.emit(
+            RequestShed(
+                klass=request.klass,
+                op=request.op,
+                reason=reason,
+                retries=request.retries,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch: queued requests against the engine, thread-budgeted.
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, now: int, utilization: float, result: ServeResult
+    ) -> int:
+        config = self.config
+        threads = float(config.read_threads)
+        budget = threads - self._read_debt
+        reads = 0
+        dispatched = 0
+        while budget > 0.0 and dispatched < _MAX_DISPATCH_PER_TICK:
+            request = self.scheduler.pop()
+            if request is None:
+                break
+            dispatched += 1
+            # Intra-tick start offset: requests dispatched later in the
+            # second start later, in proportion to thread-time already
+            # spent this tick.
+            spent = threads - self._read_debt - budget
+            start_s = now + min(1.0, max(0.0, spent / threads))
+            if request.op == "write":
+                stall_before = self.engine.stats.stall_seconds
+                self.engine.put(request.key)
+                stall_s = self.engine.stats.stall_seconds - stall_before
+                # One simulated write stands for ops_scale real writes'
+                # worth of ingestion; a stall blocks the write path once.
+                budget -= config.cache_hit_s * config.ops_scale + stall_s
+                service_s = config.cache_hit_s + stall_s
+                result.writes_applied += 1
+            else:
+                if request.op == "scan":
+                    scan = self.engine.scan(request.key, request.key_high)
+                    cost, pairs = scan.cost, len(scan.entries)
+                else:
+                    got = self.engine.get(request.key)
+                    cost, pairs = got.cost, 0
+                is_scan = request.op == "scan"
+                priced = price_read(
+                    config, self.cost_model, cost, pairs, utilization, is_scan
+                )
+                self.profiler.record_read(cost, utilization, pairs, is_scan)
+                budget -= priced
+                service_s = priced / config.ops_scale
+                result.reads_completed += 1
+                reads += 1
+            queue_delay_s = max(0.0, start_s - request.arrival_s)
+            total_s = queue_delay_s + service_s
+            self._complete(request, queue_delay_s, service_s, total_s, result)
+        self._read_debt = -budget if budget < 0.0 else 0.0
+        return reads
+
+    def _complete(
+        self,
+        request: Request,
+        queue_delay_s: float,
+        service_s: float,
+        total_s: float,
+        result: ServeResult,
+    ) -> None:
+        stats = result.class_stats[request.klass]
+        stats.completed += 1
+        stats.queue_delay_s.append(queue_delay_s)
+        stats.service_s.append(service_s)
+        stats.latency_s.append(total_s)
+        if request.op != "write":
+            result.read_latencies_s.append(total_s)
+        self._completed_count += 1
+        if (
+            self._completed_count % self.request_sample_every == 0
+            and len(result.request_samples) < _MAX_REQUEST_SAMPLES
+        ):
+            result.request_samples.append(
+                {
+                    "seq": request.seq,
+                    "klass": request.klass,
+                    "op": request.op,
+                    "arrival_s": request.arrival_s,
+                    "queue_delay_s": queue_delay_s,
+                    "service_s": service_s,
+                    "total_s": total_s,
+                    "retries": request.retries,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Sampling (same series the closed-loop driver keeps, plus serve's).
+    # ------------------------------------------------------------------
+    def _sample(
+        self,
+        now: int,
+        reads: int,
+        utilization: float,
+        stall_tick: float,
+        arrived_per_s: float,
+        result: ServeResult,
+    ) -> None:
+        config = self.config
+        result.throughput_qps.add(now, reads * config.ops_scale)
+        result.queue_depth.add(now, float(len(self.scheduler)))
+        result.offered_qps.add(now, arrived_per_s * config.ops_scale)
+        result.stall.add(now, stall_tick)
+        if self.metric_cache is not None:
+            stats = self.metric_cache.stats
+            due = (
+                self._last_hit_sample_tick is None
+                or now - self._last_hit_sample_tick >= self.hit_ratio_window_s
+            )
+            if due:
+                if self._last_cache_stats is None:
+                    ratio = stats.hit_ratio
+                else:
+                    ratio = stats.interval_hit_ratio(self._last_cache_stats)
+                self._last_cache_stats = stats.snapshot()
+                self._last_hit_sample_tick = now
+                result.hit_ratio.add(now, ratio)
+            result.cache_usage.add(now, self.metric_cache.usage)
+        disk = self.engine.disk
+        size_kb = disk.live_kb + disk.tick_temp_space_kb()
+        result.db_size_mb.add(now, size_kb * config.ops_scale / 1024.0)
+        result.disk_utilization.add(now, utilization)
+        buffer_kb = self.engine.compaction_buffer_kb
+        if buffer_kb is not None:
+            result.buffer_size_mb.add(
+                now, buffer_kb * config.ops_scale / 1024.0
+            )
+
+    def _snapshot_cause_totals(self) -> dict[str, dict[str, float]]:
+        return {
+            cause: dict(kinds)
+            for cause, kinds in self.engine.disk.cause_totals().items()
+        }
+
+    def _cause_window(
+        self, baseline: dict[str, dict[str, float]]
+    ) -> dict[str, dict[str, float]]:
+        window: dict[str, dict[str, float]] = {}
+        for cause, kinds in self._snapshot_cause_totals().items():
+            before = baseline.get(cause, {"read_kb": 0.0, "write_kb": 0.0})
+            window[cause] = {
+                "read_kb": kinds["read_kb"] - before["read_kb"],
+                "write_kb": kinds["write_kb"] - before["write_kb"],
+            }
+        return window
+
+
+def execute_serve(spec: ServiceSpec) -> ServeResult:
+    """Materialize one :class:`ServiceSpec` into its measured result.
+
+    The serve counterpart of :func:`repro.sim.experiment.execute`: build
+    the engine stack, preload the unique data set, generate the arrival
+    stream, then run the service loop.  The result carries the substrate
+    registry's closing snapshot like every other run.
+    """
+    from repro.sim.experiment import build_engine, preload
+
+    config = spec.config()
+    setup = build_engine(spec.engine, config)
+    if spec.do_preload:
+        preload(setup)
+    workload = RangeHotWorkload(config)
+    if spec.warm_cache:
+        # One unaccounted pass over the hot range: serving starts from
+        # the steady state the closed-loop figures reach after warm-up.
+        for key in range(workload.hot_start, workload.hot_start + workload.hot_size):
+            setup.engine.get(key)
+    classes = spec.client_classes(config)
+    duration = spec.duration_s if spec.duration_s is not None else config.duration_s
+    arrivals = generate_arrivals(classes, config, workload, duration, spec.seed)
+    scheduler = make_scheduler(spec.policy, spec.queue_bound, classes)
+    admission = AdmissionController(
+        AdmissionPolicy(
+            queue_bound=spec.queue_bound,
+            admit_queue_fraction=spec.admit_queue_fraction,
+            retry_after_s=spec.retry_after_s,
+            max_retries=spec.max_retries,
+        )
+    )
+    profiler: SpanProfiler | None = None
+    if spec.profile:
+        profiler = SpanProfiler(
+            bus=setup.substrate.bus,
+            config=config,
+            sample_every=spec.sample_every,
+        )
+    simulator = ServiceSimulator(
+        setup.engine,
+        config,
+        setup.clock,
+        arrivals,
+        scheduler,
+        admission,
+        profiler=profiler,
+        request_sample_every=spec.request_sample_every,
+    )
+    result = simulator.run(duration)
+    result.policy = spec.policy
+    result.arrival = spec.arrival
+    result.offered_read_qps = spec.read_rate_qps
+    result.ops_scale = config.ops_scale
+    result.config_note = (
+        f"serve; policy={spec.policy}; arrival={spec.arrival}; "
+        f"rate={spec.read_rate_qps:g}qps"
+    )
+    result.metrics = setup.substrate.registry.snapshot()
+    return result

@@ -1,0 +1,267 @@
+"""Declarative serve-run specifications.
+
+:class:`ServiceSpec` is to :func:`~repro.serve.service.execute_serve`
+what :class:`~repro.sim.spec.ExperimentSpec` is to ``execute``: a
+picklable, JSON-able description of one open-loop run — engine, config
+base, client classes, offered rates, scheduling policy and admission
+thresholds.  It deliberately mirrors the experiment spec's surface
+(``config()``, ``cell_key()``, ``label()``, ``to_dict``/``from_dict``),
+because the sweep runner identifies, deduplicates and summarizes cells
+through exactly that surface; :func:`expand_serve_grid` builds the
+engine × rate × policy grids behind ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.obs.prof import DEFAULT_SAMPLE_EVERY
+from repro.serve.arrivals import PROCESSES, ClientClass
+from repro.serve.scheduler import SCHEDULER_NAMES
+from repro.sim.spec import CONFIG_BASES, ExperimentSpec
+
+#: Default sampling period for per-request decomposition samples; prime
+#: so samples don't phase-lock with periodic load.
+DEFAULT_REQUEST_SAMPLE_EVERY = 17
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One open-loop serve run, described entirely by primitives.
+
+    ``read_rate_qps``/``write_rate_qps`` configure the *default* client
+    classes (a weight-3 ``readers`` class and a weight-1 ``writers``
+    class sharing the spec's arrival process); ``classes`` overrides
+    them with an explicit tuple of :class:`ClientClass` for custom
+    mixes.  ``write_rate_qps=None`` takes the config's paced write rate
+    (``write_rate_pairs_per_s × ops_scale``), keeping serve runs
+    write-comparable with the closed-loop figures.
+    """
+
+    engine: str
+    base: str = "paper_scaled"
+    scale: int = 2048
+    overrides: tuple[tuple[str, object], ...] = ()
+    duration_s: int | None = None
+    seed: int = 0
+    policy: str = "fifo"
+    arrival: str = "poisson"
+    read_rate_qps: float = 2000.0
+    write_rate_qps: float | None = None
+    queue_bound: int = 64
+    admit_queue_fraction: float = 0.75
+    retry_after_s: float = 5.0
+    max_retries: int = 3
+    classes: tuple[ClientClass, ...] = ()
+    do_preload: bool = True
+    #: Read the workload's hot range once before arrivals start, so the
+    #: run measures steady-state serving rather than the cold-cache
+    #: transient (under open-loop load a cold cache saturates the queue
+    #: before it can warm, drowning engine differences in backlog).
+    warm_cache: bool = True
+    profile: bool = False
+    sample_every: int = DEFAULT_SAMPLE_EVERY
+    request_sample_every: int = DEFAULT_REQUEST_SAMPLE_EVERY
+
+    def __post_init__(self) -> None:
+        if self.base not in CONFIG_BASES:
+            raise ConfigError(
+                f"unknown config base {self.base!r}; choose from {CONFIG_BASES}"
+            )
+        if self.policy not in SCHEDULER_NAMES:
+            raise ConfigError(
+                f"unknown policy {self.policy!r}; "
+                f"choose from {SCHEDULER_NAMES}"
+            )
+        if self.arrival not in PROCESSES:
+            raise ConfigError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"choose from {PROCESSES}"
+            )
+        if self.read_rate_qps < 0:
+            raise ConfigError("read_rate_qps must be >= 0")
+        if self.queue_bound < 1:
+            raise ConfigError("queue_bound must be >= 1")
+        if self.request_sample_every < 1:
+            raise ConfigError("request_sample_every must be >= 1")
+        # Delegate override validation (field names, sorting) to the
+        # experiment spec, then adopt its normalized tuple.
+        probe = ExperimentSpec(
+            engine=self.engine,
+            base=self.base,
+            scale=self.scale,
+            overrides=self.overrides,
+        )
+        object.__setattr__(self, "overrides", probe.overrides)
+        object.__setattr__(self, "classes", tuple(self.classes))
+
+    def replace(self, **changes: object) -> "ServiceSpec":
+        return dataclasses.replace(self, **changes)
+
+    def with_seed(self, seed: int) -> "ServiceSpec":
+        return self.replace(seed=seed)
+
+    # ------------------------------------------------------------------
+    # Materialization.
+    # ------------------------------------------------------------------
+    def _experiment_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            engine=self.engine,
+            base=self.base,
+            scale=self.scale,
+            overrides=self.overrides,
+            duration_s=self.duration_s,
+            seed=self.seed,
+            do_preload=self.do_preload,
+            profile=self.profile,
+            sample_every=self.sample_every,
+        )
+
+    def config(self) -> SystemConfig:
+        return self._experiment_spec().config()
+
+    def client_classes(self, config: SystemConfig) -> tuple[ClientClass, ...]:
+        """The effective classes: explicit ``classes`` or the defaults."""
+        if self.classes:
+            return self.classes
+        write_qps = self.write_rate_qps
+        if write_qps is None:
+            write_qps = config.write_rate_pairs_per_s * config.ops_scale
+        return (
+            ClientClass(
+                name="readers",
+                op="read",
+                rate_qps=self.read_rate_qps,
+                process=self.arrival,
+                weight=3,
+            ),
+            ClientClass(
+                name="writers",
+                op="write",
+                rate_qps=write_qps,
+                process=self.arrival,
+                weight=1,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Labels.
+    # ------------------------------------------------------------------
+    def cell_key(self) -> str:
+        """Grid-cell identity (everything but the seed), serve-prefixed."""
+        parts = ["serve", self._experiment_spec().cell_key()]
+        parts.append(self.policy)
+        parts.append(self.arrival)
+        parts.append(f"r{self.read_rate_qps:g}")
+        if self.write_rate_qps is not None:
+            parts.append(f"w{self.write_rate_qps:g}")
+        if self.queue_bound != 64:
+            parts.append(f"q{self.queue_bound}")
+        if not self.warm_cache:
+            parts.append("cold")
+        for klass in self.classes:
+            parts.append(f"c:{klass.name}:{klass.op}:{klass.rate_qps:g}")
+        return "/".join(parts)
+
+    def label(self) -> str:
+        return f"{self.cell_key()}/s{self.seed}"
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": "serve",
+            "engine": self.engine,
+            "base": self.base,
+            "scale": self.scale,
+            "overrides": dict(self.overrides),
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "policy": self.policy,
+            "arrival": self.arrival,
+            "read_rate_qps": self.read_rate_qps,
+            "write_rate_qps": self.write_rate_qps,
+            "queue_bound": self.queue_bound,
+            "admit_queue_fraction": self.admit_queue_fraction,
+            "retry_after_s": self.retry_after_s,
+            "max_retries": self.max_retries,
+            "classes": [klass.to_dict() for klass in self.classes],
+            "do_preload": self.do_preload,
+            "warm_cache": self.warm_cache,
+            "profile": self.profile,
+            "sample_every": self.sample_every,
+            "request_sample_every": self.request_sample_every,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceSpec":
+        return cls(
+            engine=payload["engine"],
+            base=payload.get("base", "paper_scaled"),
+            scale=payload.get("scale", 2048),
+            overrides=tuple(payload.get("overrides", {}).items()),
+            duration_s=payload.get("duration_s"),
+            seed=payload.get("seed", 0),
+            policy=payload.get("policy", "fifo"),
+            arrival=payload.get("arrival", "poisson"),
+            read_rate_qps=float(payload.get("read_rate_qps", 2000.0)),
+            write_rate_qps=(
+                None
+                if payload.get("write_rate_qps") is None
+                else float(payload["write_rate_qps"])
+            ),
+            queue_bound=int(payload.get("queue_bound", 64)),
+            admit_queue_fraction=float(
+                payload.get("admit_queue_fraction", 0.75)
+            ),
+            retry_after_s=float(payload.get("retry_after_s", 5.0)),
+            max_retries=int(payload.get("max_retries", 3)),
+            classes=tuple(
+                ClientClass.from_dict(entry)
+                for entry in payload.get("classes", [])
+            ),
+            do_preload=payload.get("do_preload", True),
+            warm_cache=payload.get("warm_cache", True),
+            profile=payload.get("profile", False),
+            sample_every=payload.get("sample_every", DEFAULT_SAMPLE_EVERY),
+            request_sample_every=payload.get(
+                "request_sample_every", DEFAULT_REQUEST_SAMPLE_EVERY
+            ),
+        )
+
+
+def expand_serve_grid(
+    engines: list[str],
+    rates: list[float],
+    policies: list[str],
+    seeds: list[int],
+    arrival: str = "poisson",
+    scale: int = 2048,
+    duration_s: int | None = None,
+    queue_bound: int = 64,
+    **common: object,
+) -> list[ServiceSpec]:
+    """The engine × rate × policy × seed grid behind ``repro serve``."""
+    specs: list[ServiceSpec] = []
+    for engine in engines:
+        for rate in rates:
+            for policy in policies:
+                for seed in seeds:
+                    specs.append(
+                        ServiceSpec(
+                            engine=engine,
+                            scale=scale,
+                            duration_s=duration_s,
+                            seed=seed,
+                            policy=policy,
+                            arrival=arrival,
+                            read_rate_qps=rate,
+                            queue_bound=queue_bound,
+                            **common,
+                        )
+                    )
+    return specs

@@ -38,6 +38,39 @@ from repro.workload.ycsb import RangeHotWorkload
 _MAX_READS_PER_TICK = 50_000
 
 
+def price_read(
+    config: SystemConfig,
+    cost_model: IOCostModel,
+    cost: ReadCost,
+    pairs_returned: int,
+    utilization: float,
+    is_scan: bool = False,
+) -> float:
+    """Modeled service seconds of one (simulated) read.
+
+    Module-level so the driver and the :mod:`repro.serve` service layer
+    price reads with literally the same arithmetic — and so the span
+    profiler's stage decomposition (:mod:`repro.obs.prof`) has one
+    formula to reconcile against.
+    """
+    seconds = config.cache_hit_s  # Per-operation base CPU.
+    seconds += cost.cache_hit_blocks * config.block_hit_s
+    seconds += cost.os_hit_blocks * config.os_hit_s
+    seconds += pairs_returned * config.scan_pair_cpu_s
+    if is_scan:
+        # Range queries position an iterator on every sorted table
+        # they touch; point reads pay per-probe costs instead.
+        seconds += cost.tables_checked * config.scan_table_cpu_s
+    seconds += cost_model.bloom_probe_s(cost.bloom_probes)
+    if cost.disk_random_blocks:
+        seconds += cost_model.random_read_s(cost.disk_random_blocks, utilization)
+    if cost.seq_runs or cost.seq_kb:
+        seconds += cost_model.sequential_s(
+            cost.seq_kb, seeks=cost.seq_runs, utilization=utilization
+        )
+    return seconds * config.ops_scale
+
+
 class MixedReadWriteDriver:
     """Runs one engine under the paper's mixed read/write measurement."""
 
@@ -78,6 +111,7 @@ class MixedReadWriteDriver:
         self._read_debt = 0.0
         self._bw_last: dict[str, dict[str, float]] = {}
         self._bw_last_tick = 0
+        self._stall_last = 0.0
         self._last_cache_stats: CacheStats | None = None
         self._last_hit_sample_tick: int | None = None
         #: Hit-ratio points are computed over windows of this many ticks so
@@ -97,25 +131,10 @@ class MixedReadWriteDriver:
         is_scan: bool = False,
     ) -> float:
         """Modeled service seconds of one (simulated) read."""
-        config = self.config
-        seconds = config.cache_hit_s  # Per-operation base CPU.
-        seconds += cost.cache_hit_blocks * config.block_hit_s
-        seconds += cost.os_hit_blocks * config.os_hit_s
-        seconds += pairs_returned * config.scan_pair_cpu_s
-        if is_scan:
-            # Range queries position an iterator on every sorted table
-            # they touch; point reads pay per-probe costs instead.
-            seconds += cost.tables_checked * config.scan_table_cpu_s
-        seconds += self.cost_model.bloom_probe_s(cost.bloom_probes)
-        if cost.disk_random_blocks:
-            seconds += self.cost_model.random_read_s(
-                cost.disk_random_blocks, utilization
-            )
-        if cost.seq_runs or cost.seq_kb:
-            seconds += self.cost_model.sequential_s(
-                cost.seq_kb, seeks=cost.seq_runs, utilization=utilization
-            )
-        return seconds * config.ops_scale
+        return price_read(
+            self.config, self.cost_model, cost, pairs_returned, utilization,
+            is_scan,
+        )
 
     # ------------------------------------------------------------------
     # The run loop.
@@ -128,6 +147,8 @@ class MixedReadWriteDriver:
         bw_baseline = self._snapshot_cause_totals()
         self._bw_last = bw_baseline
         self._bw_last_tick = self.clock.now
+        stall_baseline = self.engine.stats.stall_seconds
+        self._stall_last = stall_baseline
         for _ in range(duration):
             now = self.clock.now
             self._apply_writes(result)
@@ -143,6 +164,7 @@ class MixedReadWriteDriver:
             if count - events_before.get(name, 0)
         }
         result.bandwidth_kb_by_cause = self._cause_window(bw_baseline)
+        result.stall_seconds = self.engine.stats.stall_seconds - stall_baseline
         return result
 
     # ------------------------------------------------------------------
@@ -223,6 +245,9 @@ class MixedReadWriteDriver:
         size_kb = disk.live_kb + disk.tick_temp_space_kb()
         result.db_size_mb.add(now, size_kb * self.config.ops_scale / 1024.0)
         result.disk_utilization.add(now, utilization)
+        stall_total = self.engine.stats.stall_seconds
+        result.stall.add(now, stall_total - self._stall_last)
+        self._stall_last = stall_total
         buffer_kb = self.engine.compaction_buffer_kb
         if buffer_kb is not None:
             result.buffer_size_mb.add(

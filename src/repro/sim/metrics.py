@@ -117,6 +117,7 @@ _SERIES_FIELDS = (
     "cache_usage",
     "disk_utilization",
     "buffer_size_mb",
+    "stall",
 )
 
 
@@ -140,9 +141,14 @@ class RunResult:
     buffer_size_mb: TimeSeries = field(
         default_factory=lambda: TimeSeries("buffer_size_mb")
     )
+    #: Write-stall seconds accrued per sample window (see
+    #: ``EngineStats.stall_seconds`` — this is its windowed derivative).
+    stall: TimeSeries = field(default_factory=lambda: TimeSeries("stall"))
     reads_completed: int = 0
     writes_applied: int = 0
     duration_s: int = 0
+    #: Total write-stall seconds over this run's window.
+    stall_seconds: float = 0.0
     #: Modeled per-operation read latencies in real seconds (one
     #: observation per simulated read, already divided back by
     #: ``ops_scale``), reservoir-sampled to a bounded memory footprint.
@@ -196,6 +202,7 @@ class RunResult:
             "duration_s": self.duration_s,
             "reads_completed": self.reads_completed,
             "writes_applied": self.writes_applied,
+            "stall_seconds": self.stall_seconds,
             "series": {
                 name: getattr(self, name).to_dict() for name in _SERIES_FIELDS
             },
@@ -223,8 +230,12 @@ class RunResult:
             reads_completed=int(payload["reads_completed"]),
             writes_applied=int(payload["writes_applied"]),
         )
+        result.stall_seconds = float(payload.get("stall_seconds", 0.0))
         for name in _SERIES_FIELDS:
-            setattr(result, name, TimeSeries.from_dict(payload["series"][name]))
+            # ``.get`` tolerates payloads written before a series existed.
+            data = payload["series"].get(name)
+            if data is not None:
+                setattr(result, name, TimeSeries.from_dict(data))
         result.read_latencies_s = LatencyReservoir.from_dict(
             payload["read_latencies_s"]
         )
@@ -255,6 +266,7 @@ class RunResult:
             "mean_db_size_mb": self.mean_db_size_mb(),
             "latency_p50_ms": self.latency_percentile_s(50) * 1000,
             "latency_p99_ms": self.latency_percentile_s(99) * 1000,
+            "stall_seconds": self.stall_seconds,
             "event_counts": dict(self.event_counts),
             "bandwidth_kb_by_cause": {
                 cause: dict(totals)

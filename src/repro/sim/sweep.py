@@ -38,7 +38,9 @@ from repro.sim.spec import ExperimentSpec
 
 #: Keep in sync with ``benchmarks.common.BENCH_SCHEMA_VERSION`` (the
 #: validator lives there; src must not import the benchmarks package).
-SWEEP_SCHEMA_VERSION = 1
+#: Version 2: run entries grew a required ``stall_seconds`` field and
+#: serve cells may appear (tagged ``"kind": "serve"``).
+SWEEP_SCHEMA_VERSION = 2
 
 #: Headline metrics aggregated per cell: name -> extractor.
 SUMMARY_METRICS = {
@@ -99,13 +101,29 @@ def _execute_payload(payload: dict) -> dict:
     Takes and returns plain dicts so the transport format is exactly the
     documented ``to_dict`` round-trip on both sides of the pool — the
     ``jobs=1`` path calls this same function in-process, which is what
-    makes serial and parallel runs bit-identical.
+    makes serial and parallel runs bit-identical.  Spec dicts tagged
+    ``"kind": "serve"`` run through the open-loop service layer instead
+    of the closed-loop driver.
     """
-    spec = ExperimentSpec.from_dict(payload)
     started = time.perf_counter()
-    result = execute(spec)
+    if payload.get("kind") == "serve":
+        from repro.serve.service import execute_serve
+        from repro.serve.spec import ServiceSpec
+
+        result = execute_serve(ServiceSpec.from_dict(payload))
+    else:
+        result = execute(ExperimentSpec.from_dict(payload))
     wall_clock_s = time.perf_counter() - started
     return {"result": result.to_dict(), "wall_clock_s": wall_clock_s}
+
+
+def _load_result(payload: dict) -> RunResult:
+    """Rebuild a transported result, dispatching on its ``kind`` tag."""
+    if payload.get("kind") == "serve":
+        from repro.serve.result import ServeResult
+
+        return ServeResult.from_dict(payload)
+    return RunResult.from_dict(payload)
 
 
 @dataclass
@@ -268,11 +286,12 @@ class SweepOutcome:
         return paths
 
 
-def run_sweep(
-    specs: Sequence[ExperimentSpec], jobs: int = 1
-) -> SweepOutcome:
+def run_sweep(specs: Sequence, jobs: int = 1) -> SweepOutcome:
     """Execute every spec, fanned over ``jobs`` worker processes.
 
+    Accepts :class:`~repro.sim.spec.ExperimentSpec` and
+    :class:`~repro.serve.spec.ServiceSpec` entries interchangeably (the
+    worker dispatches on the spec dict's ``kind`` tag).
     Results come back in spec order regardless of completion order.
     Duplicate labels are rejected — they would collide in the payload's
     ``runs`` dict and silently drop data.
@@ -295,7 +314,7 @@ def run_sweep(
     outcomes = [
         SpecOutcome(
             spec=spec,
-            result=RunResult.from_dict(raw["result"]),
+            result=_load_result(raw["result"]),
             wall_clock_s=raw["wall_clock_s"],
         )
         for spec, raw in zip(specs, raws)

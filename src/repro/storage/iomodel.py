@@ -65,6 +65,16 @@ class IOCostModel:
     # Contention.
     # ------------------------------------------------------------------
     @staticmethod
+    def queueing_factor(utilization: float) -> float:
+        """Public view of the contention multiplier (see :meth:`_queueing`).
+
+        Reports and the serve layer use it to split a priced disk stage
+        into base service time (``stage / factor``) and queueing delay
+        behind compaction I/O (the rest).
+        """
+        return IOCostModel._queueing(utilization)
+
+    @staticmethod
     def _queueing(utilization: float) -> float:
         """M/M/1-style slowdown of disk service under background traffic.
 

@@ -143,6 +143,14 @@ class KVCachedBLSM:
         return None
 
     @property
+    def l0_pressure(self) -> float:
+        return self.engine.l0_pressure
+
+    @property
+    def write_stalled(self) -> bool:
+        return self.engine.write_stalled
+
+    @property
     def wal(self):
         return self.engine.wal
 

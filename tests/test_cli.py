@@ -171,6 +171,8 @@ class TestReportCommand:
         assert "disk bandwidth by cause" in out
         assert "flush" in out
         assert "read-path spans" in out
+        assert "queueing delay vs service time" in out
+        assert "service time" in out
 
     def test_report_json_with_trace(self, tmp_path, capsys):
         trace = tmp_path / "report.jsonl"
@@ -196,6 +198,11 @@ class TestReportCommand:
         assert payload["span_summary"]["count"] > 0
         assert "fraction_explained" in payload["dip_diagnosis"]
         assert "flush" in payload["bandwidth_kb_by_cause"]
+        queueing = payload["queueing_decomposition"]
+        assert queueing["count"] > 0
+        assert queueing["mean_queueing_s"] >= 0.0
+        assert queueing["mean_service_s"] > 0.0
+        assert 0.0 <= queueing["queueing_share"] <= 1.0
         records = read_jsonl(trace)
         assert any(r["event"] == "ReadSpan" for r in records)
 
@@ -300,7 +307,9 @@ class TestSweepCommand:
         )
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 1
+        from repro.sim.sweep import SWEEP_SCHEMA_VERSION
+
+        assert payload["schema_version"] == SWEEP_SCHEMA_VERSION
         assert len(payload["runs"]) == 4
         assert payload["scalars"]["sweep_jobs"] == 2.0
         assert payload["scalars"]["sweep_runs"] == 4.0
@@ -366,6 +375,83 @@ class TestSweepCommand:
 
     def test_sweep_rejects_unknown_engine(self, capsys):
         assert main(["sweep", "--engines", "nope"]) == 2
+
+
+class TestServeCommand:
+    def test_serve_json_payload(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--engines",
+                "lsbm",
+                "--rate",
+                "2000",
+                "--scale",
+                "8192",
+                "--duration",
+                "150",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["runs"]) == 1
+        run = next(iter(payload["runs"].values()))
+        assert run["kind"] == "serve"
+        assert run["policy"] == "fifo"
+        assert run["offered_read_qps"] == 2000.0
+        assert run["reconciliation_max_error_s"] == 0.0
+        assert "latency_p99_ms" in run["classes"]["readers"]
+
+    def test_serve_table_lists_per_class_rows(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--engines",
+                "lsbm",
+                "--rate",
+                "2000",
+                "--policy",
+                "read-priority",
+                "--scale",
+                "8192",
+                "--duration",
+                "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99 ms" in out and "queue p99 ms" in out
+        assert "readers" in out and "writers" in out
+        assert "read-priority" in out
+
+    def test_serve_out_writes_valid_bench_payload(self, tmp_path):
+        from benchmarks.common import validate_bench
+
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "serve",
+                "--engines",
+                "leveldb,lsbm",
+                "--rate",
+                "2000",
+                "--scale",
+                "8192",
+                "--duration",
+                "150",
+                "--jobs",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        validate_bench(json.loads(out.read_text()))
+
+    def test_serve_rejects_unknown_engine_and_policy(self, capsys):
+        assert main(["serve", "--engines", "bogus"]) == 2
+        assert main(["serve", "--engines", "lsbm", "--policy", "lifo"]) == 2
 
 
 class TestCompareCommand:

@@ -1,0 +1,142 @@
+"""Property tests for the latency reservoir's quantile estimates.
+
+The SLO numbers the serve layer reports (p50/p95/p99/p99.9 per client
+class) all come out of :class:`repro.obs.metrics.Reservoir`, so its
+percentile arithmetic gets property coverage of its own: exact
+nearest-rank quantiles while the stream fits in the reservoir, ordering
+(p99 never below p95), boundary behaviour (p0 = min, p100 = max), and
+the invariant that an estimate is always a genuinely observed value.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Reservoir
+from repro.sim.metrics import LatencyReservoir
+
+_VALUES = st.lists(
+    st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=64,
+)
+
+_PERCENTILES = st.floats(min_value=0.0, max_value=100.0)
+
+
+def _nearest_rank(ordered: list[float], percentile: float) -> float:
+    """The reference nearest-rank definition over a full sorted sample."""
+    rank = round(percentile / 100 * (len(ordered) - 1))
+    return ordered[min(len(ordered) - 1, max(0, rank))]
+
+
+class TestExactQuantilesWithinCapacity:
+    """While ``count <= capacity`` nothing is sampled away: quantiles are
+    exact functions of the observed stream."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(values=_VALUES, percentile=_PERCENTILES)
+    def test_matches_nearest_rank_reference(self, values, percentile):
+        reservoir = Reservoir(capacity=64)
+        for value in values:
+            reservoir.append(value)
+        assert reservoir.percentile(percentile) == _nearest_rank(
+            sorted(values), percentile
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=_VALUES)
+    def test_extremes_are_min_and_max(self, values):
+        reservoir = Reservoir(capacity=64)
+        for value in values:
+            reservoir.append(value)
+        assert reservoir.percentile(0) == min(values)
+        assert reservoir.percentile(100) == max(values)
+        assert min(values) <= reservoir.percentile(50) <= max(values)
+
+
+class TestQuantileProperties:
+    """Properties that must hold regardless of reservoir overflow."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e9,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        capacity=st.integers(min_value=1, max_value=32),
+        lo=_PERCENTILES,
+        hi=_PERCENTILES,
+    )
+    def test_monotone_in_percentile(self, values, capacity, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        reservoir = Reservoir(capacity=capacity)
+        for value in values:
+            reservoir.append(value)
+        assert reservoir.percentile(lo) <= reservoir.percentile(hi)
+        assert reservoir.percentile(95) <= reservoir.percentile(99)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e9,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        capacity=st.integers(min_value=1, max_value=32),
+        percentile=_PERCENTILES,
+    )
+    def test_estimate_is_an_observed_value(self, values, capacity, percentile):
+        reservoir = Reservoir(capacity=capacity)
+        for value in values:
+            reservoir.append(value)
+        assert reservoir.percentile(percentile) in values
+        assert len(reservoir) == len(values)
+        assert len(reservoir.samples) == min(capacity, len(values))
+        assert set(reservoir.samples) <= set(values)
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=_VALUES)
+    def test_round_trip_preserves_every_percentile(self, values):
+        reservoir = Reservoir(capacity=64)
+        for value in values:
+            reservoir.append(value)
+        restored = Reservoir.from_dict(reservoir.to_dict())
+        assert restored == reservoir
+        for percentile in (0, 50, 95, 99, 99.9, 100):
+            assert restored.percentile(percentile) == reservoir.percentile(
+                percentile
+            )
+
+
+class TestEdgeCases:
+    def test_empty_reservoir_reports_zero(self):
+        assert Reservoir().percentile(99) == 0.0
+
+    def test_percentile_range_enforced(self):
+        reservoir = Reservoir()
+        reservoir.append(1.0)
+        with pytest.raises(ValueError):
+            reservoir.percentile(-1)
+        with pytest.raises(ValueError):
+            reservoir.percentile(101)
+
+    def test_latency_reservoir_is_the_same_type(self):
+        # The driver-facing alias must stay the shared implementation.
+        assert LatencyReservoir is Reservoir

@@ -177,6 +177,8 @@ def _run_results(draw) -> RunResult:
     result.hit_ratio = draw(_series("hit_ratio"))
     result.throughput_qps = draw(_series("throughput_qps"))
     result.buffer_size_mb = draw(_series("buffer_size_mb"))
+    result.stall = draw(_series("stall"))
+    result.stall_seconds = draw(_FINITE)
     for value in draw(st.lists(_FINITE, max_size=6)):
         result.read_latencies_s.append(value)
     result.event_counts = draw(
