@@ -29,6 +29,7 @@ from pathlib import Path
 from repro.config import SystemConfig
 from repro.sim.metrics import RunResult
 from repro.sim.spec import ExperimentSpec
+from repro.sim.speedgate import find_baseline_path, load_baseline
 from repro.sim.sweep import run_sweep
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "2048"))
@@ -228,6 +229,17 @@ def validate_bench(payload: dict) -> None:
             raise ValueError(
                 f"bench payload: scalars[{label!r}] must be a number"
             )
+    speed = payload.get("speed_baseline")
+    if speed is not None:
+        if not isinstance(speed, dict) or not speed:
+            raise ValueError("bench payload: speed_baseline must be a "
+                             "non-empty dict when present")
+        for label, value in speed.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"bench payload: speed_baseline[{label!r}] must be "
+                    "a number"
+                )
     for label, run in payload["runs"].items():
         if not isinstance(run, dict):
             raise ValueError(f"bench payload: runs[{label!r}] must be a dict")
@@ -243,6 +255,32 @@ def validate_bench(payload: dict) -> None:
                     f"bench payload: runs[{label!r}][{field!r}] must be "
                     f"{kind.__name__}, got {type(run.get(field)).__name__}"
                 )
+
+
+def speed_baseline_summary() -> dict | None:
+    """The pinned speed reference points, for bench telemetry payloads.
+
+    Pulled from ``benchmarks/baseline.json`` (see
+    :mod:`repro.sim.speedgate`): the seed scalar tree's Fig. 8 grid
+    ops/s and the currently recorded (batched-kernel) floor.  Returns
+    ``None`` when no baseline file is present so ad-hoc checkouts still
+    benchmark cleanly.
+    """
+    path = find_baseline_path()
+    if not path.exists():
+        return None
+    try:
+        baseline = load_baseline(path)
+    except (ValueError, OSError):
+        return None
+    summary: dict = {}
+    seed = baseline.get("seed_scalar")
+    if seed:
+        summary["seed_scalar_grid_ops_per_s"] = seed["grid_ops_per_s"]
+    recorded = baseline.get("recorded")
+    if recorded:
+        summary["recorded_grid_ops_per_s"] = recorded["best"]["grid_ops_per_s"]
+    return summary or None
 
 
 def _bench_label(key) -> str:
@@ -285,6 +323,9 @@ def write_bench(
         )
         entry.update(telemetry)
         payload["runs"][_bench_label(label)] = entry
+    speed = speed_baseline_summary()
+    if speed is not None:
+        payload["speed_baseline"] = speed
     validate_bench(payload)
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 
-from repro.bloom.hashing import hash_pair
+from repro.bloom.hashing import probe_mask
 
 
 class BloomFilter:
@@ -37,39 +37,34 @@ class BloomFilter:
         self._num_bits = max(8, expected_keys * bits_per_key)
         # k = ln(2) * bits/key minimizes the false-positive rate.
         self._num_hashes = max(1, min(30, round(math.log(2) * bits_per_key)))
-        self._bits = bytearray((self._num_bits + 7) // 8)
+        # The bit array is one Python int: insertion is a single ``|=``
+        # with the key's memoized probe mask and a membership test is a
+        # single ``&`` — block filters are ~60 bits, so the ints are
+        # machine-word sized.
+        self._bits = 0
         self._num_keys = 0
 
     @classmethod
     def build(cls, keys: list[int], bits_per_key: int) -> "BloomFilter":
         """Build a filter sized for and populated with ``keys``."""
         bloom = cls(len(keys), bits_per_key)
+        num_bits, num_hashes = bloom._num_bits, bloom._num_hashes
+        bits = 0
         for key in keys:
-            bloom.add(key)
+            bits |= probe_mask(key, num_bits, num_hashes)
+        bloom._bits = bits
+        bloom._num_keys = len(keys)
         return bloom
 
     def add(self, key: int) -> None:
         """Insert ``key`` into the filter."""
-        h1, h2 = hash_pair(key)
-        m = self._num_bits
-        x, y = h1 % m, h2 % m
-        for i in range(self._num_hashes):
-            self._bits[x >> 3] |= 1 << (x & 7)
-            x = (x + y) % m
-            y = (y + i + 1) % m
+        self._bits |= probe_mask(key, self._num_bits, self._num_hashes)
         self._num_keys += 1
 
     def may_contain(self, key: int) -> bool:
         """Membership check: ``False`` is definite, ``True`` is probabilistic."""
-        h1, h2 = hash_pair(key)
-        m = self._num_bits
-        x, y = h1 % m, h2 % m
-        for i in range(self._num_hashes):
-            if not self._bits[x >> 3] & (1 << (x & 7)):
-                return False
-            x = (x + y) % m
-            y = (y + i + 1) % m
-        return True
+        mask = probe_mask(key, self._num_bits, self._num_hashes)
+        return self._bits & mask == mask
 
     @property
     def num_bits(self) -> int:
@@ -92,8 +87,7 @@ class BloomFilter:
         fill rather than the ensemble average, which matters for small
         filters.
         """
-        ones = sum(bin(byte).count("1") for byte in self._bits)
-        return ones / self._num_bits
+        return self._bits.bit_count() / self._num_bits
 
     def theoretical_fp_rate(self) -> float:
         """Expected false-positive rate for the current fill level."""

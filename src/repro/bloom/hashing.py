@@ -9,6 +9,8 @@ derive the k probe positions — the same construction LevelDB uses.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = (1 << 64) - 1
@@ -35,3 +37,36 @@ def hash_pair(key: int) -> tuple[int, int]:
     """Two independent 32-bit hash values for an integer key."""
     mixed = splitmix64(fnv1a_64(key.to_bytes(8, "little", signed=True)))
     return mixed & 0xFFFFFFFF, (mixed >> 32) & 0xFFFFFFFF
+
+
+@lru_cache(maxsize=262144)
+def probe_positions(key: int, num_bits: int, num_hashes: int) -> tuple[int, ...]:
+    """The enhanced-double-hashing probe sequence for ``key``.
+
+    Exactly the bit positions a :class:`~repro.bloom.bloom.BloomFilter`
+    of ``num_bits``/``num_hashes`` probes for ``key`` — a pure function
+    of its arguments, so it is memoized: workload key spaces are small
+    and the same hot keys are hashed millions of times per run.
+    """
+    h1, h2 = hash_pair(key)
+    x, y = h1 % num_bits, h2 % num_bits
+    positions = []
+    for i in range(num_hashes):
+        positions.append(x)
+        x = (x + y) % num_bits
+        y = (y + i + 1) % num_bits
+    return tuple(positions)
+
+
+@lru_cache(maxsize=262144)
+def probe_mask(key: int, num_bits: int, num_hashes: int) -> int:
+    """The probe sequence of :func:`probe_positions` as one bitmask.
+
+    Filters that store their bits as an integer insert a key with a
+    single ``|=`` and test membership with a single ``&`` against this
+    mask — the per-position loop runs only on a cache miss.
+    """
+    mask = 0
+    for position in probe_positions(key, num_bits, num_hashes):
+        mask |= 1 << position
+    return mask

@@ -68,6 +68,11 @@ class DBBufferCache:
 
         Called by :class:`~repro.substrate.Substrate`; standalone caches
         stay bound to the null registry and no bus.
+
+        Publication is deferred: the access path bumps only the plain-int
+        ``stats`` fields, and the registry pulls them into the counters on
+        flush (every ``snapshot()`` flushes first), so per-access cost is
+        zero and snapshots are never stale.
         """
         self._obs_name = name
         self._bus = bus
@@ -75,6 +80,24 @@ class DBBufferCache:
         self._m_misses = registry.counter(f"cache.{name}.misses")
         self._m_evictions = registry.counter(f"cache.{name}.evictions")
         self._m_invalidations = registry.counter(f"cache.{name}.invalidations")
+        # Offsets absorb whatever the counters and stats held at bind
+        # time, so a rebind never double-counts.
+        self._m_offsets = (
+            self._m_hits.value - self.stats.hits,
+            self._m_misses.value - self.stats.misses,
+            self._m_evictions.value - self.stats.evictions,
+            self._m_invalidations.value - self.stats.invalidations,
+        )
+        registry.register_flush(self._publish_metrics)
+
+    def _publish_metrics(self) -> None:
+        """Copy the hot-path ``stats`` ints into the registry counters."""
+        stats = self.stats
+        hits, misses, evictions, invalidations = self._m_offsets
+        self._m_hits.value = hits + stats.hits
+        self._m_misses.value = misses + stats.misses
+        self._m_evictions.value = evictions + stats.evictions
+        self._m_invalidations.value = invalidations + stats.invalidations
 
     # ------------------------------------------------------------------
     # Queries about cache content.
@@ -128,12 +151,32 @@ class DBBufferCache:
         if key in self._policy:
             self._policy.touch(key)
             self.stats.hits += 1
-            self._m_hits.inc()
             return True
         self.stats.misses += 1
-        self._m_misses.inc()
         self._insert(key)
         return False
+
+    def access_many(self, keys: list[BlockKey]) -> int:
+        """Read a batch of blocks through the cache; returns the hit count.
+
+        Identical to calling :meth:`access` per key in order — same
+        eviction sequence, same stats — with the per-call dispatch
+        hoisted; the batched read kernel and warm-up sweeps use it.
+        """
+        policy = self._policy
+        touch = policy.touch
+        insert = self._insert
+        stats = self.stats
+        hits = 0
+        for key in keys:
+            if key in policy:
+                touch(key)
+                hits += 1
+            else:
+                stats.misses += 1
+                insert(key)
+        stats.hits += hits
+        return hits
 
     def insert(self, file_id: int, block_index: int) -> None:
         """Insert a block without counting an access (warm-up path)."""
@@ -148,7 +191,6 @@ class DBBufferCache:
             victim = self._policy.evict()
             self._forget(victim)  # type: ignore[arg-type]
             self.stats.evictions += 1
-            self._m_evictions.inc()
             if self.eviction_hook is not None:
                 self.eviction_hook(victim[0], victim[1])  # type: ignore[index]
         self._policy.insert(key)
@@ -188,13 +230,16 @@ class DBBufferCache:
         dropped = len(blocks)
         del self._cached_per_file[file_id]
         self.stats.invalidations += dropped
-        self._m_invalidations.inc(dropped)
-        if self._bus is not None:
-            self._bus.emit(
-                CacheInvalidated(
-                    cache=self._obs_name, file_id=file_id, blocks=dropped
+        bus = self._bus
+        if bus is not None:
+            if bus.counting_only:
+                bus.count(CacheInvalidated)
+            else:
+                bus.emit(
+                    CacheInvalidated(
+                        cache=self._obs_name, file_id=file_id, blocks=dropped
+                    )
                 )
-            )
         return dropped
 
     def clear(self) -> None:

@@ -43,10 +43,29 @@ class KVStoreCache:
 
         The row cache is keyed by key, not file, so compactions never
         invalidate it — there are no file events to put on ``bus``.
+
+        Publication is deferred (see
+        :meth:`~repro.cache.db_cache.DBBufferCache.bind_observability`):
+        the hot paths bump plain ints, flushed into the counters on every
+        registry flush/snapshot.
         """
         self._m_hits = registry.counter(f"cache.{name}.hits")
         self._m_misses = registry.counter(f"cache.{name}.misses")
         self._m_evictions = registry.counter(f"cache.{name}.evictions")
+        self._m_offsets = (
+            self._m_hits.value - self.stats.hits,
+            self._m_misses.value - self.stats.misses,
+            self._m_evictions.value - self.stats.evictions,
+        )
+        registry.register_flush(self._publish_metrics)
+
+    def _publish_metrics(self) -> None:
+        """Copy the hot-path ``stats`` ints into the registry counters."""
+        stats = self.stats
+        hits, misses, evictions = self._m_offsets
+        self._m_hits.value = hits + stats.hits
+        self._m_misses.value = misses + stats.misses
+        self._m_evictions.value = evictions + stats.evictions
 
     @property
     def capacity_pairs(self) -> int:
@@ -64,11 +83,32 @@ class KVStoreCache:
         if key in self._values:
             self._policy.touch(key)
             self.stats.hits += 1
-            self._m_hits.inc()
             return True, self._values[key]
         self.stats.misses += 1
-        self._m_misses.inc()
         return False, None
+
+    def get_many(self, keys: list[int]) -> list[tuple[bool, object | None]]:
+        """Look up a batch of keys; one ``(hit, value)`` per key in order.
+
+        Identical to calling :meth:`get` per key (same LRU touches, same
+        stats), with per-call dispatch hoisted for batched readers.
+        """
+        values = self._values
+        touch = self._policy.touch
+        stats = self.stats
+        out: list[tuple[bool, object | None]] = []
+        append = out.append
+        hits = 0
+        for key in keys:
+            if key in values:
+                touch(key)
+                hits += 1
+                append((True, values[key]))
+            else:
+                stats.misses += 1
+                append((False, None))
+        stats.hits += hits
+        return out
 
     def put(self, key: int, value: object) -> None:
         """Install or refresh ``key``.
@@ -84,7 +124,6 @@ class KVStoreCache:
             victim = self._policy.evict()
             del self._values[victim]  # type: ignore[arg-type]
             self.stats.evictions += 1
-            self._m_evictions.inc()
         self._policy.insert(key)
         self._values[key] = value
         self.stats.insertions += 1

@@ -37,6 +37,9 @@ class OSBufferCache:
         self._page_size_kb = page_size_kb
         self._policy = policy if policy is not None else LRUPolicy()
         self.stats = CacheStats()
+        #: Pages touched by compaction streams (pollution traffic), kept
+        #: as a plain int on the hot path and published on flush.
+        self._compaction_pages = 0
         self.bind_observability(NULL_REGISTRY, None, "os")
 
     def bind_observability(
@@ -50,12 +53,35 @@ class OSBufferCache:
         The page cache is keyed by physical address, not file, so it has
         no file-level invalidations to report on ``bus``; compaction churn
         shows up in its eviction counter instead.
+
+        Publication is deferred (see
+        :meth:`~repro.cache.db_cache.DBBufferCache.bind_observability`):
+        the hot paths bump plain ints, flushed into the counters on every
+        registry flush/snapshot.
         """
         self._m_hits = registry.counter(f"cache.{name}.hits")
         self._m_misses = registry.counter(f"cache.{name}.misses")
         self._m_evictions = registry.counter(f"cache.{name}.evictions")
         self._m_compaction_pages = registry.counter(
             f"cache.{name}.compaction_pages"
+        )
+        self._m_offsets = (
+            self._m_hits.value - self.stats.hits,
+            self._m_misses.value - self.stats.misses,
+            self._m_evictions.value - self.stats.evictions,
+            self._m_compaction_pages.value - self._compaction_pages,
+        )
+        registry.register_flush(self._publish_metrics)
+
+    def _publish_metrics(self) -> None:
+        """Copy the hot-path ints into the registry counters."""
+        stats = self.stats
+        hits, misses, evictions, compaction_pages = self._m_offsets
+        self._m_hits.value = hits + stats.hits
+        self._m_misses.value = misses + stats.misses
+        self._m_evictions.value = evictions + stats.evictions
+        self._m_compaction_pages.value = (
+            compaction_pages + self._compaction_pages
         )
 
     @property
@@ -89,12 +115,33 @@ class OSBufferCache:
         if page in self._policy:
             self._policy.touch(page)
             self.stats.hits += 1
-            self._m_hits.inc()
             return True
         self.stats.misses += 1
-        self._m_misses.inc()
         self._insert(page)
         return False
+
+    def read_many(self, addresses_kb: list[int]) -> int:
+        """Query-read a batch of addresses; returns the hit count.
+
+        Identical to calling :meth:`read` per address in order (same
+        eviction sequence, same stats), with per-call dispatch hoisted.
+        """
+        page_size = self._page_size_kb
+        policy = self._policy
+        touch = policy.touch
+        insert = self._insert
+        stats = self.stats
+        hits = 0
+        for address_kb in addresses_kb:
+            page = address_kb // page_size
+            if page in policy:
+                touch(page)
+                hits += 1
+            else:
+                stats.misses += 1
+                insert(page)
+        stats.hits += hits
+        return hits
 
     def read_for_compaction(self, address_kb: int, size_kb: int) -> None:
         """A compaction streaming read of ``size_kb`` starting at ``address_kb``.
@@ -106,7 +153,7 @@ class OSBufferCache:
         """
         first = self._page_of(address_kb)
         last = self._page_of(address_kb + max(size_kb - 1, 0))
-        self._m_compaction_pages.inc(last + 1 - first)
+        self._compaction_pages += last + 1 - first
         for page in range(first, last + 1):
             if page in self._policy:
                 self._policy.touch(page)
@@ -121,6 +168,5 @@ class OSBufferCache:
         while len(self._policy) >= self._capacity:
             self._policy.evict()
             self.stats.evictions += 1
-            self._m_evictions.inc()
         self._policy.insert(page)
         self.stats.insertions += 1

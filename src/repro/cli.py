@@ -176,6 +176,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             print("--csv is per-run; use it with --seed, not --seeds",
                   file=sys.stderr)
             return 2
+        if args.profile:
+            print("--profile is per-run; use it with --seed, not --seeds",
+                  file=sys.stderr)
+            return 2
         print(
             f"running {args.engine} at 1/{args.scale} scale for "
             f"{args.duration} virtual seconds ({mode}), "
@@ -197,13 +201,41 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"{args.duration} virtual seconds ({mode})",
         file=sys.stderr,
     )
-    result = run_experiment(
-        args.engine,
-        config,
-        duration_s=args.duration,
-        seed=args.seed,
-        scan_mode=args.scan,
-    )
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_experiment(
+            args.engine,
+            config,
+            duration_s=args.duration,
+            seed=args.seed,
+            scan_mode=args.scan,
+        )
+        profiler.disable()
+        out = Path(
+            args.profile_out
+            or f"results/profile_{args.engine.replace('+', '_')}.pstats"
+        )
+        out.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(out)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        print(
+            f"[cProfile dump written to {out}; inspect with "
+            f"`python -m pstats {out}` or snakeviz]",
+            file=sys.stderr,
+        )
+    else:
+        result = run_experiment(
+            args.engine,
+            config,
+            duration_s=args.duration,
+            seed=args.seed,
+            scan_mode=args.scan,
+        )
     if args.json:
         print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
     else:
@@ -673,6 +705,48 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if verdict["ok"] else 1
 
 
+def cmd_bench_baseline(args: argparse.Namespace) -> int:
+    from repro.sim import speedgate
+
+    path = Path(args.baseline) if args.baseline else speedgate.find_baseline_path()
+    trials = args.trials if args.trials is not None else speedgate.DEFAULT_TRIALS
+    print(
+        f"timing the Fig. 8 grid x{trials} "
+        f"({'+'.join(speedgate.GRID_ENGINES)})...",
+        file=sys.stderr,
+    )
+    measured = speedgate.measure_grid(trials=trials)
+    baseline = speedgate.load_baseline(path) if path.exists() else None
+    outcome = None
+    exit_code = 0
+    if args.check:
+        if baseline is None:
+            print(f"no baseline at {path}; record one first", file=sys.stderr)
+            return 2
+        outcome = speedgate.evaluate_gate(measured, baseline)
+        exit_code = 0 if outcome.passed else 1
+    print(speedgate.format_report(measured, baseline, outcome))
+    if args.record:
+        written = speedgate.record_baseline(measured, path)
+        print(f"[baseline recorded to {written}]", file=sys.stderr)
+    if args.out:
+        artifact: dict = {"measured": measured}
+        if baseline is not None:
+            artifact["baseline"] = baseline
+        if outcome is not None:
+            artifact["gate"] = {
+                "status": outcome.status,
+                "ratio": outcome.ratio,
+                "min_ratio": outcome.min_ratio,
+                "reasons": outcome.reasons,
+            }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"[comparison artifact written to {out}]", file=sys.stderr)
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -690,6 +764,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the run summary as JSON instead of tables",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile: print the top functions and dump "
+        "a .pstats file (single-seed runs only)",
+    )
+    run.add_argument(
+        "--profile-out",
+        help="cProfile dump path (default results/profile_<engine>.pstats)",
+    )
+    run.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="rows in the printed cumulative-time table (default 25)",
     )
     _add_common(run)
     _add_replication(run)
@@ -911,6 +1001,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedule length for crash experiments (default 2500)",
     )
     check.set_defaults(func=cmd_check)
+
+    bench = commands.add_parser(
+        "bench-baseline",
+        help="time the Fig. 8 grid against benchmarks/baseline.json",
+    )
+    bench.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="grid repetitions (default 5; best trial is the headline)",
+    )
+    bench.add_argument(
+        "--record",
+        action="store_true",
+        help="re-record the baseline floor from this measurement",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the speed gate: exit 1 if the best trial is more "
+        "than (1 - min_ratio) below the recorded ops/s",
+    )
+    bench.add_argument(
+        "--baseline",
+        help="baseline.json path (default: benchmarks/baseline.json, "
+        "or REPRO_BASELINE_PATH)",
+    )
+    bench.add_argument(
+        "--out",
+        help="write the measurement + comparison as a JSON artifact",
+    )
+    bench.set_defaults(func=cmd_bench_baseline)
     return parser
 
 

@@ -52,16 +52,28 @@ class BufferLevel:
     @property
     def live_kb(self) -> int:
         """Live buffer data serving ``Ci`` (incoming + completed tables)."""
-        return self.incoming.size_kb + sum(t.size_kb for t in self.tables)
+        total = self.incoming.size_kb
+        for table in self.tables:
+            total += table.size_kb
+        return total
 
     @property
     def draining_live_kb(self) -> int:
         """Live data in ``B'i`` (removed markers excluded)."""
-        return sum(t.size_kb for t in self.draining)
+        total = 0
+        for table in self.draining:
+            total += table.size_kb
+        return total
 
     @property
     def total_live_kb(self) -> int:
-        return self.live_kb + self.draining_live_kb
+        # Sampled every driver tick; a flat loop keeps it off the profile.
+        total = self.incoming.size_kb
+        for table in self.tables:
+            total += table.size_kb
+        for table in self.draining:
+            total += table.size_kb
+        return total
 
     # ------------------------------------------------------------------
     # Round transitions.

@@ -37,13 +37,16 @@ validated by the model-equivalence property tests:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 
+from repro.bloom.hashing import probe_mask
 from repro.core.compaction_buffer import BufferLevel
 from repro.core.trim import TrimProcess
 from repro.lsm.base import GetResult, MergeOutcome, ReadCost, ScanResult
 from repro.lsm.blsm import BLSMTree
 from repro.obs.events import BufferFrozen, BufferUnfrozen, FileDiscarded
+from repro.sstable.block import _shared_filter
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries
 from repro.sstable.sorted_table import SortedTable
@@ -119,6 +122,18 @@ class LSbMTree(BLSMTree):
             remove_file=self._remove_buffer_file,
             bus=self.bus,
         )
+        #: ``buffer[1..k]`` in level order — the per-tick walks (sampling
+        #: the buffer size, the trim pass) reuse this stable view instead
+        #: of rebuilding a list every virtual second.  The BufferLevel
+        #: objects are created once above and only ever mutated in place.
+        self._buffer_levels = self.buffer[1:]
+        # The sampled buffer size is cached between membership changes:
+        # every path that adds or removes a buffer file bumps one of the
+        # append/remove counters (removals also bump the global
+        # ``SSTableFile.removal_epoch``), so the key below invalidates on
+        # exactly the events that can change the total.
+        self._buffer_kb_key: tuple[int, int, int] | None = None
+        self._buffer_kb_total = 0
 
     # ------------------------------------------------------------------
     # Substrate helpers.
@@ -140,12 +155,18 @@ class LSbMTree(BLSMTree):
         self.disk.free(file.extent)
         file.mark_removed()
         self.lsbm_stats.buffer_files_removed += 1
-        if self.bus.active:
-            self.bus.emit(
-                FileDiscarded(
-                    file_id=file.file_id, size_kb=file.size_kb, reason="buffer"
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(FileDiscarded)
+            else:
+                bus.emit(
+                    FileDiscarded(
+                        file_id=file.file_id,
+                        size_kb=file.size_kb,
+                        reason="buffer",
+                    )
                 )
-            )
 
     def _remove_table_files(self, table: SortedTable) -> None:
         for file in table:
@@ -155,10 +176,19 @@ class LSbMTree(BLSMTree):
     @property
     def compaction_buffer_kb(self) -> int:
         """Live on-disk size of the whole compaction buffer."""
-        return sum(
-            self.buffer[level].total_live_kb
-            for level in range(1, self.num_levels + 1)
+        stats = self.lsbm_stats
+        key = (
+            SSTableFile.removal_epoch,
+            stats.buffer_files_appended,
+            stats.buffer_files_removed,
         )
+        if key != self._buffer_kb_key:
+            total = 0
+            for buf in self._buffer_levels:
+                total += buf.total_live_kb
+            self._buffer_kb_total = total
+            self._buffer_kb_key = key
+        return self._buffer_kb_total
 
     # ------------------------------------------------------------------
     # Buffered merge (Algorithm 1): hook overrides of the gear scheduler.
@@ -264,9 +294,7 @@ class LSbMTree(BLSMTree):
     # ------------------------------------------------------------------
     def tick(self, now: int) -> None:
         super().tick(now)
-        removed = self.trim.maybe_run(
-            now, [self.buffer[i] for i in range(1, self.num_levels + 1)]
-        )
+        removed = self.trim.maybe_run(now, self._buffer_levels)
         if removed or self.trim.due(now):
             self.lsbm_stats.trim_runs = self.trim.runs
 
@@ -274,36 +302,54 @@ class LSbMTree(BLSMTree):
     # Random access (Algorithm 3, plus the C'/B0 combination rule).
     # ------------------------------------------------------------------
     def get(self, key: int) -> GetResult:
-        self._check_open()
+        if self._closed:
+            self._check_open()
         self.stats.gets += 1
         cost = ReadCost()
         cost.memtable_probes += 1
         entry = self.memtable.get(key)
         if entry is not None:
             return self._make_entry_result(entry, cost)
+        # Each component search is gated on emptiness first: a component
+        # whose run (and complement) hold no files contributes exactly
+        # one ``tables_checked`` and nothing else, so the call is skipped
+        # with the same accounting — unpopulated C'/B0 components are
+        # the common case over a run's lifetime.
         # Level 0's draining run, combined with B1^0 (its drained part).
-        entry = self._search_component(
-            self.c0_prime, key, cost,
-            buffer_tables=[],
-            complement=self.buffer[1].incoming,
-        )
-        if entry is not None:
-            return self._make_entry_result(entry, cost)
-        for level in range(1, self.num_levels + 1):
-            buf = self.buffer[level]
+        complement = self.buffer[1].incoming
+        if self.c0_prime._max_keys or complement._max_keys:
             entry = self._search_component(
-                self.c[level], key, cost, buffer_tables=buf.tables
+                self.c0_prime, key, cost,
+                buffer_tables=[],
+                complement=complement,
             )
             if entry is not None:
                 return self._make_entry_result(entry, cost)
-            if level < self.num_levels:
+        else:
+            cost.tables_checked += 1
+        for level in range(1, self.num_levels + 1):
+            buf = self.buffer[level]
+            if self.c[level]._max_keys:
                 entry = self._search_component(
-                    self.cp[level], key, cost,
-                    buffer_tables=buf.draining,
-                    complement=self.buffer[level + 1].incoming,
+                    self.c[level], key, cost, buffer_tables=buf.tables
                 )
                 if entry is not None:
                     return self._make_entry_result(entry, cost)
+            else:
+                cost.tables_checked += 1
+            if level < self.num_levels:
+                cp = self.cp[level]
+                complement = self.buffer[level + 1].incoming
+                if cp._max_keys or complement._max_keys:
+                    entry = self._search_component(
+                        cp, key, cost,
+                        buffer_tables=buf.draining,
+                        complement=complement,
+                    )
+                    if entry is not None:
+                        return self._make_entry_result(entry, cost)
+                else:
+                    cost.tables_checked += 1
         return GetResult(False, None, cost)
 
     def _search_component(
@@ -320,17 +366,44 @@ class LSbMTree(BLSMTree):
         already drained out of ``run`` — together they cover the original
         sorted run (Section V's "treated as a whole").
         """
+        # The index walk and Bloom gate are fused (same steps as
+        # ``find_file``/``find_block``/``may_contain``, identical cost
+        # accounting) — this runs several times per read.
         cost.tables_checked += 1
-        file = run.find_file(key)
+        max_keys = run._max_keys
+        position = bisect_left(max_keys, key)
+        if position == len(max_keys):
+            file = None
+        else:
+            file = run._files[position]
+            if file.min_key > key:
+                file = None
         if file is None and complement is not None:
-            file = complement.find_file(key)
+            max_keys = complement._max_keys
+            position = bisect_left(max_keys, key)
+            if position < len(max_keys):
+                file = complement._files[position]
+                if file.min_key > key:
+                    file = None
         if file is None:
             return None
-        block = file.find_block(key)
-        if block is None:
+        if file.removed:
+            file._check_not_removed()
+        block_keys = file._block_max_keys
+        position = bisect_left(block_keys, key)
+        if position == len(block_keys):
+            return None
+        block = file._blocks[position]
+        if block.min_key > key:
             return None
         cost.bloom_probes += 1
-        if not block.may_contain(key):
+        bloom = block._bloom
+        if bloom is None:
+            bloom = block._bloom = _shared_filter(
+                tuple(block._keys), block._bits_per_key
+            )
+        mask = probe_mask(key, bloom._num_bits, bloom._num_hashes)
+        if bloom._bits & mask != mask:
             # The buffer lists hold subsets of this component, so a
             # negative here clears them too (Algorithm 3's level skip).
             return None
@@ -357,16 +430,30 @@ class LSbMTree(BLSMTree):
         """
         for table in tables:
             cost.index_probes += 1
-            file = table.find_file(key)
-            if file is None:
+            max_keys = table._max_keys
+            position = bisect_left(max_keys, key)
+            if position == len(max_keys):
+                continue
+            file = table._files[position]
+            if file.min_key > key:
                 continue
             if file.removed:
                 return None
-            block = file.find_block(key)
-            if block is None:
+            block_keys = file._block_max_keys
+            position = bisect_left(block_keys, key)
+            if position == len(block_keys):
+                continue
+            block = file._blocks[position]
+            if block.min_key > key:
                 continue
             cost.bloom_probes += 1
-            if not block.may_contain(key):
+            bloom = block._bloom
+            if bloom is None:
+                bloom = block._bloom = _shared_filter(
+                    tuple(block._keys), block._bits_per_key
+                )
+            mask = probe_mask(key, bloom._num_bits, bloom._num_hashes)
+            if bloom._bits & mask != mask:
                 continue
             self._read_block(file, block, cost)
             entry = block.get(key)

@@ -69,6 +69,10 @@ class TrimProcess:
                         self._remove_file(file)
                         removed += 1
         self.files_trimmed += removed
-        if self._bus is not None and self._bus.active:
-            self._bus.emit(TrimRun(removed=removed, run_index=self.runs))
+        bus = self._bus
+        if bus is not None and bus.active:
+            if bus.counting_only:
+                bus.count(TrimRun)
+            else:
+                bus.emit(TrimRun(removed=removed, run_index=self.runs))
         return removed

@@ -18,6 +18,7 @@ between the driver's per-second samples.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.cache.db_cache import DBBufferCache
@@ -33,8 +34,9 @@ from repro.obs.events import (
     FlushDone,
 )
 from repro.sstable.entry import Kind
+from repro.bloom.hashing import probe_mask
 from repro.clock import VirtualClock
-from repro.sstable.block import Block
+from repro.sstable.block import Block, _shared_filter
 from repro.sstable.builder import TableBuilder
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_with_obsolete_count
@@ -53,7 +55,7 @@ def compaction_cause(level: int) -> str:
     return f"compaction:L{level}" if level >= 0 else "compaction"
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadCost:
     """The I/O shape of one query (the driver prices it)."""
 
@@ -93,16 +95,45 @@ class ReadCost:
         return self.cache_hit_blocks / total
 
 
-@dataclass
 class GetResult:
-    """Outcome of a point lookup."""
+    """Outcome of a point lookup.
 
-    found: bool
-    value: str | None
-    cost: ReadCost
+    ``value`` materializes lazily from the matched entry: the simulation
+    kernel prices reads by ``cost`` alone and never reads the payload, so
+    hit lookups skip building the value string until a caller (tests, the
+    differential checker, the service layer) actually asks for it.
+    """
+
+    __slots__ = ("found", "cost", "_value", "_entry")
+
+    def __init__(
+        self,
+        found: bool,
+        value: str | None,
+        cost: ReadCost,
+        _entry: Entry | None = None,
+    ) -> None:
+        self.found = found
+        self.cost = cost
+        self._value = value
+        self._entry = _entry
+
+    @property
+    def value(self) -> str | None:
+        entry = self._entry
+        if entry is not None:
+            self._value = entry.value()
+            self._entry = None
+        return self._value
+
+    def __repr__(self) -> str:
+        return (
+            f"GetResult(found={self.found}, value={self.value!r}, "
+            f"cost={self.cost!r})"
+        )
 
 
-@dataclass
+@dataclass(slots=True)
 class ScanResult:
     """Outcome of a range query."""
 
@@ -204,6 +235,18 @@ class LSMEngine(ABC):
             "engine.compaction_write_kb"
         )
         self._m_stall_seconds = self.registry.counter("engine.stall_seconds")
+        # Deferred publication: hot paths bump ``self.stats`` plain
+        # attributes; the registry instruments are synced only when a
+        # snapshot asks for them (see :meth:`_publish_metrics`).  Offsets
+        # absorb whatever the counters held before this engine bound.
+        self._m_offsets = (
+            self._m_flushes.value,
+            self._m_compactions.value,
+            self._m_compaction_read_kb.value,
+            self._m_compaction_write_kb.value,
+            self._m_stall_seconds.value,
+        )
+        self.registry.register_flush(self._publish_metrics)
         self._seq = 0
         #: Highest flushed seq whose WAL prefix still awaits truncation.
         #: Truncation is deferred to the end of the compaction pass so a
@@ -255,7 +298,8 @@ class LSMEngine(ABC):
     # ------------------------------------------------------------------
     def put(self, key: int) -> int:
         """Insert/overwrite ``key``; returns the assigned sequence number."""
-        self._check_open()
+        if self._closed:
+            self._check_open()
         self._seq += 1
         if self.wal is not None:
             self.wal.append(key, self._seq, Kind.PUT)
@@ -325,7 +369,6 @@ class LSMEngine(ABC):
             if moved_kb > 0:
                 stall_s = moved_kb / self.config.seq_bandwidth_kb_per_s
                 self.stats.stall_seconds += stall_s
-                self._m_stall_seconds.inc(stall_s)
         self._apply_pending_wal_truncate()
 
     @abstractmethod
@@ -384,12 +427,46 @@ class LSMEngine(ABC):
     def _search_table(
         self, table: SortedTable, key: int, cost: ReadCost
     ) -> Entry | None:
-        """Point lookup in one sorted run (no removed-marker handling)."""
+        """Point lookup in one sorted run (no removed-marker handling).
+
+        This is the hottest chain under every engine's ``get`` (several
+        calls per read), so the index walk and Bloom gate are fused here
+        — the same steps as ``SortedTable.find_file`` +
+        :meth:`_probe_file`, with identical cost accounting, minus the
+        per-level method dispatch.
+        """
         cost.tables_checked += 1
-        file = table.find_file(key)
-        if file is None:
+        max_keys = table._max_keys
+        position = bisect_left(max_keys, key)
+        if position == len(max_keys):
             return None
-        return self._probe_file(file, key, cost)
+        file = table._files[position]
+        if file.min_key > key:  # bisect guarantees key <= file.max_key.
+            return None
+        cost.index_probes += 1
+        if file.removed:
+            file._check_not_removed()
+        block_keys = file._block_max_keys
+        position = bisect_left(block_keys, key)
+        if position == len(block_keys):
+            return None
+        block = file._blocks[position]
+        if block.min_key > key:
+            return None
+        cost.bloom_probes += 1
+        bloom = block._bloom
+        if bloom is None:
+            bloom = block._bloom = _shared_filter(
+                tuple(block._keys), block._bits_per_key
+            )
+        mask = probe_mask(key, bloom._num_bits, bloom._num_hashes)
+        if bloom._bits & mask != mask:
+            return None
+        self._read_block(file, block, cost)
+        entry = block.get(key)
+        if entry is None:
+            cost.false_positive_blocks += 1
+        return entry
 
     def _scan_file(
         self, file: SSTableFile, low: int, high: int, cost: ReadCost
@@ -485,17 +562,21 @@ class LSMEngine(ABC):
             sum(f.size_kb for f in source_files)
             + sum(f.size_kb for f in overlapping)
         )
-        if self.bus.active:
-            self.bus.emit(
-                CompactionStart(
-                    level=level,
-                    input_files=len(source_files) + len(overlapping),
-                    input_kb=read_kb,
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionStart)
+            else:
+                bus.emit(
+                    CompactionStart(
+                        level=level,
+                        input_files=len(source_files) + len(overlapping),
+                        input_kb=read_kb,
+                    )
                 )
-            )
 
-        sources: list[list[Entry]] = [list(f.entries()) for f in source_files]
-        sources.extend(list(f.entries()) for f in overlapping)
+        sources: list[list[Entry]] = [f.entry_list() for f in source_files]
+        sources.extend(f.entry_list() for f in overlapping)
         merged, obsolete = merge_with_obsolete_count(
             sources, drop_tombstones=last_level
         )
@@ -517,16 +598,19 @@ class LSMEngine(ABC):
                 self._discard_file(file)
 
         self._account_compaction(read_kb, write_kb, obsolete)
-        if self.bus.active:
-            self.bus.emit(
-                CompactionEnd(
-                    level=level,
-                    read_kb=read_kb,
-                    write_kb=write_kb,
-                    output_files=len(new_files),
-                    obsolete_entries=obsolete,
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionEnd)
+            else:
+                bus.emit(
+                    CompactionEnd(
+                        level=level,
+                        read_kb=read_kb,
+                        write_kb=write_kb,
+                        output_files=len(new_files),
+                        obsolete_entries=obsolete,
+                    )
                 )
-            )
         return MergeOutcome(
             new_files=new_files,
             obsolete_entries=obsolete,
@@ -538,13 +622,21 @@ class LSMEngine(ABC):
         self, read_kb: float, write_kb: float, obsolete: int
     ) -> None:
         """Book one finished compaction into the stats and the registry."""
-        self.stats.compactions += 1
-        self.stats.compaction_read_kb += read_kb
-        self.stats.compaction_write_kb += write_kb
-        self.stats.obsolete_entries_dropped += obsolete
-        self._m_compactions.inc()
-        self._m_compaction_read_kb.inc(read_kb)
-        self._m_compaction_write_kb.inc(write_kb)
+        stats = self.stats
+        stats.compactions += 1
+        stats.compaction_read_kb += read_kb
+        stats.compaction_write_kb += write_kb
+        stats.obsolete_entries_dropped += obsolete
+
+    def _publish_metrics(self) -> None:
+        """Copy the engine counters into the registry instruments."""
+        stats = self.stats
+        flushes, compactions, read_kb, write_kb, stall_s = self._m_offsets
+        self._m_flushes.value = flushes + stats.flushes
+        self._m_compactions.value = compactions + stats.compactions
+        self._m_compaction_read_kb.value = read_kb + stats.compaction_read_kb
+        self._m_compaction_write_kb.value = write_kb + stats.compaction_write_kb
+        self._m_stall_seconds.value = stall_s + stats.stall_seconds
 
     def _pre_install_hook(
         self, old_files: list[SSTableFile], new_files: list[SSTableFile]
@@ -574,10 +666,14 @@ class LSMEngine(ABC):
         if self.db_cache is not None:
             self.db_cache.invalidate_file(file.file_id)
         self.disk.free(file.extent)
-        if self.bus.active:
-            self.bus.emit(
-                FileDiscarded(file_id=file.file_id, size_kb=file.size_kb)
-            )
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(FileDiscarded)
+            else:
+                bus.emit(
+                    FileDiscarded(file_id=file.file_id, size_kb=file.size_kb)
+                )
 
     def _flush_memtable_to_files(self) -> list[SSTableFile]:
         """Write the memtable out as on-disk files (charged sequentially).
@@ -598,15 +694,18 @@ class LSMEngine(ABC):
                 self._pending_wal_truncate_seq, max(e.seq for e in entries)
             )
         self.stats.flushes += 1
-        self._m_flushes.inc()
-        if self.bus.active:
-            self.bus.emit(
-                FlushDone(
-                    entries=len(entries),
-                    files=len(files),
-                    size_kb=float(sum(f.size_kb for f in files)),
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(FlushDone)
+            else:
+                bus.emit(
+                    FlushDone(
+                        entries=len(entries),
+                        files=len(files),
+                        size_kb=float(sum(f.size_kb for f in files)),
+                    )
                 )
-            )
         return files
 
     def _apply_pending_wal_truncate(self) -> None:
@@ -668,4 +767,4 @@ class LSMEngine(ABC):
         """Standard translation of a search outcome to a GetResult."""
         if entry is None or entry.is_tombstone:
             return GetResult(False, None, cost)
-        return GetResult(True, entry.value(), cost)
+        return GetResult(True, None, cost, _entry=entry)

@@ -12,7 +12,11 @@ compaction-induced cache invalidation of Fig. 1.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
+from repro.bloom.hashing import probe_mask
 from repro.lsm.base import GetResult, LSMEngine, ReadCost, ScanResult
+from repro.sstable.block import _shared_filter
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries
 from repro.sstable.sorted_table import SortedTable
@@ -50,6 +54,18 @@ class LevelDBTree(LSMEngine):
     # ------------------------------------------------------------------
     # Compactions.
     # ------------------------------------------------------------------
+    def run_compactions(self) -> None:
+        # Fast path: a pass only ever starts from a full memtable (the
+        # per-level drains below always run to completion inside the same
+        # pass), stalls share that threshold, and the WAL-truncate marker
+        # is only non-zero inside a pass — so below S0 this is a no-op.
+        if (
+            self.memtable.size_kb < self.config.level0_size_kb
+            and not self._pending_wal_truncate_seq
+        ):
+            return
+        super().run_compactions()
+
     def _do_compactions(self) -> None:
         if self.memtable.size_kb >= self.config.level0_size_kb:
             self._flush_and_merge_into_c1()
@@ -88,17 +104,68 @@ class LevelDBTree(LSMEngine):
     # Queries.
     # ------------------------------------------------------------------
     def get(self, key: int) -> GetResult:
-        self._check_open()
+        if self._closed:
+            self._check_open()
         self.stats.gets += 1
         cost = ReadCost()
         cost.memtable_probes += 1
         entry = self.memtable.get(key)
         if entry is not None:
             return self._make_entry_result(entry, cost)
+        # Inlined ``_search_table`` descent over levels 1..k with the
+        # probe counters accumulated in locals (flushed to ``cost``
+        # before any state-bearing step and at every exit) — identical
+        # accounting without a method call per level.  The level tables
+        # are only ever mutated in place, so indexing ``self.levels``
+        # per level is the sole per-read structure access.
+        levels = self.levels
+        tables_checked = 0
+        index_probes = 0
+        bloom_probes = 0
         for level in range(1, self.num_levels + 1):
-            entry = self._search_table(self.levels[level], key, cost)
-            if entry is not None:
-                return self._make_entry_result(entry, cost)
+            table = levels[level]
+            tables_checked += 1
+            max_keys = table._max_keys
+            position = bisect_left(max_keys, key)
+            if position == len(max_keys):
+                continue
+            file = table._files[position]
+            if file.min_key > key:  # bisect guarantees key <= file.max_key.
+                continue
+            index_probes += 1
+            if file.removed:
+                file._check_not_removed()
+            block_keys = file._block_max_keys
+            position = bisect_left(block_keys, key)
+            if position == len(block_keys):
+                continue
+            block = file._blocks[position]
+            if block.min_key > key:
+                continue
+            bloom_probes += 1
+            bloom = block._bloom
+            if bloom is None:
+                bloom = block._bloom = _shared_filter(
+                    tuple(block._keys), block._bits_per_key
+                )
+            mask = probe_mask(key, bloom._num_bits, bloom._num_hashes)
+            if bloom._bits & mask != mask:
+                continue
+            cost.tables_checked += tables_checked
+            cost.index_probes += index_probes
+            cost.bloom_probes += bloom_probes
+            tables_checked = 0
+            index_probes = 0
+            bloom_probes = 0
+            self._read_block(file, block, cost)
+            entry = block.get(key)
+            if entry is None:
+                cost.false_positive_blocks += 1
+                continue
+            return self._make_entry_result(entry, cost)
+        cost.tables_checked += tables_checked
+        cost.index_probes += index_probes
+        cost.bloom_probes += bloom_probes
         return GetResult(False, None, cost)
 
     def scan(self, low: int, high: int) -> ScanResult:

@@ -93,15 +93,19 @@ class SMTree(LSMEngine):
         # can still hold an older live version of a deleted key — dropping
         # the tombstone there would resurrect it on the next read.
         drop = level == self.num_levels
-        if self.bus.active:
-            self.bus.emit(
-                CompactionStart(
-                    level=level,
-                    input_files=len(input_files),
-                    input_kb=input_kb,
-                    kind="whole-level",
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionStart)
+            else:
+                bus.emit(
+                    CompactionStart(
+                        level=level,
+                        input_files=len(input_files),
+                        input_kb=input_kb,
+                        kind="whole-level",
+                    )
                 )
-            )
         merged, obsolete = merge_with_obsolete_count(sources, drop_tombstones=drop)
 
         cause = compaction_cause(level)
@@ -119,17 +123,20 @@ class SMTree(LSMEngine):
             self._discard_file(file)
 
         self._account_compaction(input_kb, output_kb, obsolete)
-        if self.bus.active:
-            self.bus.emit(
-                CompactionEnd(
-                    level=level,
-                    read_kb=input_kb,
-                    write_kb=output_kb,
-                    output_files=len(new_files),
-                    obsolete_entries=obsolete,
-                    kind="whole-level",
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionEnd)
+            else:
+                bus.emit(
+                    CompactionEnd(
+                        level=level,
+                        read_kb=input_kb,
+                        write_kb=output_kb,
+                        output_files=len(new_files),
+                        obsolete_entries=obsolete,
+                        kind="whole-level",
+                    )
                 )
-            )
 
     # ------------------------------------------------------------------
     # Queries.

@@ -71,6 +71,29 @@ class Reservoir:
 
     add = append
 
+    def extend(self, values) -> None:
+        """Observe each value of ``values`` in order.
+
+        Exactly equivalent to calling :meth:`append` per value — same
+        retained sample, same RNG consumption — but with the per-call
+        attribute lookups hoisted out of the loop, so batched recorders
+        (the read kernel flushes one tick's latencies at once) pay the
+        sampling cost once per batch instead of once per value.
+        """
+        samples = self._samples
+        capacity = self.capacity
+        count = self.count
+        randrange = self._rng.randrange
+        for value in values:
+            count += 1
+            if len(samples) < capacity:
+                samples.append(value)
+            else:
+                slot = randrange(count)
+                if slot < capacity:
+                    samples[slot] = value
+        self.count = count
+
     @property
     def samples(self) -> list[float]:
         """A copy of the retained sample (at most ``capacity`` values)."""
@@ -243,6 +266,25 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._flushers: list = []
+
+    def register_flush(self, callback) -> None:
+        """Register a deferred-publication source.
+
+        Hot paths that cannot afford per-operation ``inc`` calls keep
+        their counts in plain ints and register a callback here that
+        copies them into their instruments.  Callbacks run on
+        :meth:`flush`, which :meth:`snapshot` always performs first — so
+        a snapshot is never stale, while the hot path pays nothing.
+        Disabled registries ignore registrations (zero-cost path).
+        """
+        if self.enabled:
+            self._flushers.append(callback)
+
+    def flush(self) -> None:
+        """Run every deferred-publication callback."""
+        for callback in self._flushers:
+            callback()
 
     def _get(self, name: str, cls, null_instance):
         if not self.enabled:
@@ -282,8 +324,10 @@ class MetricsRegistry:
         Counters and gauges flatten to a float; histograms become a
         ``{count, sum, min, max, mean, p50, p95, p99}`` dict (empty
         histograms report zeroed bounds so the snapshot stays
-        JSON-friendly).
+        JSON-friendly).  Deferred sources are flushed first, so the
+        snapshot reflects every hot-path count up to this instant.
         """
+        self.flush()
         out: dict[str, float | dict[str, float]] = {}
         for name, instrument in self._instruments.items():
             if isinstance(instrument, Histogram):

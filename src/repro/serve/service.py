@@ -5,7 +5,7 @@ arrivals (and due write retries) through admission control into the
 bounded scheduler, let the engine do its compaction housekeeping, then
 dispatch queued requests against the engine under the same
 ``read_threads`` thread-second budget — and the same
-:func:`~repro.sim.driver.price_read` arithmetic — as the closed-loop
+:class:`~repro.sim.kernel.ReadPricer` arithmetic — as the closed-loop
 driver.  The one semantic difference is what latency means: here a
 request's latency is *queueing delay* (arrival to dispatch) plus
 *service time* (the priced engine work), which is exactly the quantity
@@ -35,7 +35,7 @@ from repro.serve.arrivals import Request, generate_arrivals
 from repro.serve.result import ClassStats, ServeResult
 from repro.serve.scheduler import Scheduler, make_scheduler
 from repro.serve.spec import ServiceSpec
-from repro.sim.driver import price_read
+from repro.sim.kernel import ReadPricer
 from repro.sim.metrics import TimeSeries
 from repro.storage.iomodel import IOCostModel
 from repro.workload.ycsb import RangeHotWorkload
@@ -68,6 +68,7 @@ class ServiceSimulator:
         self.scheduler = scheduler
         self.admission = admission
         self.cost_model = IOCostModel(config)
+        self.pricer = ReadPricer(config, self.cost_model)
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.request_sample_every = max(1, request_sample_every)
         self.metric_cache = engine.metric_cache
@@ -260,9 +261,7 @@ class ServiceSimulator:
                     got = self.engine.get(request.key)
                     cost, pairs = got.cost, 0
                 is_scan = request.op == "scan"
-                priced = price_read(
-                    config, self.cost_model, cost, pairs, utilization, is_scan
-                )
+                priced = self.pricer.price(cost, pairs, utilization, is_scan)
                 self.profiler.record_read(cost, utilization, pairs, is_scan)
                 budget -= priced
                 service_s = priced / config.ops_scale

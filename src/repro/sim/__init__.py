@@ -1,6 +1,6 @@
 """Simulation harness: clock, driver, metrics, experiments, sweeps."""
 
-from repro.sim.clock import VirtualClock
+from repro.clock import VirtualClock
 from repro.sim.driver import MixedReadWriteDriver
 from repro.sim.experiment import (
     ENGINE_NAMES,

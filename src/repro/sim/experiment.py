@@ -15,6 +15,7 @@ benchmarks all import it from here).
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from typing import Callable
 
@@ -248,7 +249,19 @@ def _drive(
         scan_mode=scan_mode,
         profiler=profiler,
     )
-    result = driver.run(duration_s)
+    # The drive loop allocates heavily (entries, costs, per-tick lists)
+    # but creates no reference cycles worth chasing mid-run, so cyclic-GC
+    # generation sweeps are pure pause time.  Suspend collection for the
+    # run and restore the caller's setting after; allocation totals and
+    # results are unaffected (refcounting frees everything promptly).
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        result = driver.run(duration_s)
+    finally:
+        if was_enabled:
+            gc.enable()
     result.config_note = f"scale-adjusted; scan_mode={scan_mode}"
     result.metrics = setup.substrate.registry.snapshot()
     return result

@@ -24,6 +24,8 @@ LatencyReservoir = Reservoir
 class TimeSeries:
     """A uniformly sampled (time, value) series."""
 
+    __slots__ = ("name", "times", "values")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.times: list[int] = []

@@ -14,16 +14,45 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections.abc import Iterator, Sequence
+from functools import lru_cache
 
 from repro.bloom import BloomFilter
+from repro.bloom.hashing import probe_mask
 from repro.errors import TableError
 from repro.sstable.entry import Entry
 
 
-class Block:
-    """An immutable sorted run of entries occupying one disk page."""
+@lru_cache(maxsize=262144)
+def _shared_filter(keys: tuple[int, ...], bits_per_key: int) -> BloomFilter:
+    """The Bloom filter for one block's key set, shared across rebuilds.
 
-    __slots__ = ("_keys", "_entries", "bloom", "index")
+    A filter is a pure function of ``(keys, bits_per_key)``, and
+    compactions rewrite blocks with identical key sets constantly, so
+    identical blocks share one immutable filter instance.  Nothing
+    mutates a block's filter after construction.
+    """
+    return BloomFilter.build(list(keys), bits_per_key)
+
+
+class Block:
+    """An immutable sorted run of entries occupying one disk page.
+
+    The Bloom filter is built lazily on the first probe: most blocks
+    written by a compaction are rewritten by a later one before any
+    point lookup ever probes them, and the filter's bits are a pure
+    function of the key set, so deferring construction changes nothing
+    observable.
+    """
+
+    __slots__ = (
+        "_keys",
+        "_entries",
+        "_bloom",
+        "_bits_per_key",
+        "min_key",
+        "max_key",
+        "index",
+    )
 
     def __init__(
         self,
@@ -34,24 +63,57 @@ class Block:
         if not entries:
             raise TableError("a block must contain at least one entry")
         keys = [entry.key for entry in entries]
-        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
-            raise TableError("block entries must be strictly sorted by key")
+        previous = keys[0]
+        for key in keys[1:]:
+            if previous >= key:
+                raise TableError(
+                    "block entries must be strictly sorted by key"
+                )
+            previous = key
         self._keys = keys
         self._entries = tuple(entries)
-        self.bloom = BloomFilter.build(keys, bits_per_key)
+        self._bloom: BloomFilter | None = None
+        self._bits_per_key = bits_per_key
+        self.min_key = keys[0]
+        self.max_key = previous
         #: Position of this block inside its file.
         self.index = index
+
+    @classmethod
+    def from_sorted(
+        cls, entries: Sequence[Entry], bits_per_key: int, index: int
+    ) -> "Block":
+        """Construct from entries the caller *guarantees* strictly sorted.
+
+        The table builder's inputs (a memtable's sorted snapshot, a
+        compaction merge's output) are strictly sorted by construction,
+        so the per-entry validation of ``__init__`` is skipped on that
+        hot path.  Everything else about the block is identical.
+        """
+        if not entries:
+            raise TableError("a block must contain at least one entry")
+        block = object.__new__(cls)
+        keys = [entry.key for entry in entries]
+        block._keys = keys
+        block._entries = tuple(entries)
+        block._bloom = None
+        block._bits_per_key = bits_per_key
+        block.min_key = keys[0]
+        block.max_key = keys[-1]
+        block.index = index
+        return block
 
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
     @property
-    def min_key(self) -> int:
-        return self._keys[0]
-
-    @property
-    def max_key(self) -> int:
-        return self._keys[-1]
+    def bloom(self) -> BloomFilter:
+        bloom = self._bloom
+        if bloom is None:
+            bloom = self._bloom = _shared_filter(
+                tuple(self._keys), self._bits_per_key
+            )
+        return bloom
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,7 +134,16 @@ class Block:
 
     def may_contain(self, key: int) -> bool:
         """The Bloom-filter membership test (probabilistic)."""
-        return self.bloom.may_contain(key)
+        # Inlines BloomFilter.may_contain — this is the single hottest
+        # probe on the point-read path, so the mask test happens here
+        # without a second method dispatch.
+        bloom = self._bloom
+        if bloom is None:
+            bloom = self._bloom = _shared_filter(
+                tuple(self._keys), self._bits_per_key
+            )
+        mask = probe_mask(key, bloom._num_bits, bloom._num_hashes)
+        return bloom._bits & mask == mask
 
     def get(self, key: int) -> Entry | None:
         """Exact lookup inside the block."""

@@ -62,44 +62,48 @@ class TableBuilder:
         "compaction:L2", "preload"); engine call sites always tag it.
         """
         config = self._config
+        bits_per_key = config.bloom_bits_per_key
+        pairs_per_block = config.pairs_per_block
+        block_size_kb = config.block_size_kb
+        entries_per_file = pairs_per_block * config.blocks_per_file
+        disk = self._disk
+        next_id = self._file_ids.next_id
+        bus = self._bus
+        emit = bus is not None and bus.active
+        entry_list = entries if isinstance(entries, list) else list(entries)
         files: list[SSTableFile] = []
-        blocks: list[Block] = []
-        pending: list[Entry] = []
-
-        def flush_block() -> None:
-            if pending:
-                blocks.append(
-                    Block(list(pending), config.bloom_bits_per_key, len(blocks))
+        # Slice the sorted stream directly into per-file chunks and
+        # per-block slices — the same grouping the old per-entry
+        # accumulation produced, without a Python-level step per entry.
+        for file_start in range(0, len(entry_list), entries_per_file):
+            chunk = entry_list[file_start : file_start + entries_per_file]
+            blocks = [
+                # ``from_sorted`` skips per-entry validation: builder
+                # inputs are strictly sorted by contract (see docstring).
+                Block.from_sorted(
+                    chunk[block_start : block_start + pairs_per_block],
+                    bits_per_key,
+                    block_start // pairs_per_block,
                 )
-                pending.clear()
-
-        def flush_file() -> None:
-            flush_block()
-            if not blocks:
-                return
-            size_kb = len(blocks) * config.block_size_kb
-            extent = self._disk.allocate(size_kb)
+                for block_start in range(0, len(chunk), pairs_per_block)
+            ]
+            size_kb = len(blocks) * block_size_kb
+            extent = disk.allocate(size_kb)
             if charge_write:
-                self._disk.background_write(size_kb, cause=cause)
-            file = SSTableFile(self._file_ids.next_id(), list(blocks), extent)
+                disk.background_write(size_kb, cause=cause)
+            file = SSTableFile(next_id(), blocks, extent)
             files.append(file)
-            blocks.clear()
-            if self._bus is not None and self._bus.active:
-                self._bus.emit(
-                    FileCreated(
-                        file_id=file.file_id,
-                        size_kb=file.size_kb,
-                        extent_start=extent.start,
+            if emit:
+                if bus.counting_only:
+                    bus.count(FileCreated)
+                else:
+                    bus.emit(
+                        FileCreated(
+                            file_id=file.file_id,
+                            size_kb=file.size_kb,
+                            extent_start=extent.start,
+                        )
                     )
-                )
-
-        for entry in entries:
-            pending.append(entry)
-            if len(pending) >= config.pairs_per_block:
-                flush_block()
-                if len(blocks) >= config.blocks_per_file:
-                    flush_file()
-        flush_file()
         return files
 
     def build_grouped(

@@ -65,6 +65,36 @@ def merge_with_obsolete_count(
     frozen.  ``sources`` must be materialized lists so they can be both
     counted and merged.
     """
+    if len(sources) == 1:
+        # One source: already strictly sorted with unique keys, so the
+        # merge reduces to an optional tombstone filter.
+        source = sources[0]
+        if drop_tombstones:
+            merged = [e for e in source if not e.is_tombstone]
+        else:
+            merged = list(source)
+        return merged, len(source) - len(merged)
+
     total_inputs = sum(len(source) for source in sources)
-    merged = list(merge_entries(list(sources), drop_tombstones=drop_tombstones))
+    # With fully materialized sources a flat timsort on the heap's own
+    # ordering tuples ``(key, -seq, tiebreak)`` beats the per-entry
+    # Python heap loop, and yields the exact same sequence: ascending
+    # key, newest version first within a key, source order on seq ties.
+    # Full tuple ties cannot occur (keys are unique within a source and
+    # ``tiebreak`` is unique across sources), so the trailing Entry is
+    # never compared.
+    decorated: list[tuple[int, int, int, Entry]] = []
+    for tiebreak, source in enumerate(sources):
+        for entry in source:
+            decorated.append((entry.key, -entry.seq, tiebreak, entry))
+    decorated.sort()
+    merged = []
+    previous_key: int | None = None
+    for key, _, _, entry in decorated:
+        if key == previous_key:
+            continue  # An older version of a key already emitted.
+        previous_key = key
+        if drop_tombstones and entry.is_tombstone:
+            continue
+        merged.append(entry)
     return merged, total_inputs - len(merged)

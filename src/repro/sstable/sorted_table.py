@@ -25,9 +25,19 @@ from repro.sstable.sstable import SSTableFile
 class SortedTable:
     """An ordered, non-overlapping collection of files."""
 
+    __slots__ = ("_files", "_max_keys", "_size_cache", "_size_epoch")
+
     def __init__(self, files: Iterable[SSTableFile] = ()) -> None:
         self._files: list[SSTableFile] = []
         self._max_keys: list[int] = []
+        # ``size_kb`` is read on nearly every engine operation (gear
+        # scheduling, pacing, sampling) but membership changes only at
+        # compaction boundaries, so the sum is cached.  Two things
+        # invalidate it: our own mutators (set the cache to None) and a
+        # member being marked removed externally, which bumps the global
+        # ``SSTableFile.removal_epoch`` the cache is keyed on.
+        self._size_cache: int | None = None
+        self._size_epoch: int = -1
         for file in files:
             self.append(file)
 
@@ -43,6 +53,7 @@ class SortedTable:
             )
         self._files.append(file)
         self._max_keys.append(file.max_key)
+        self._size_cache = None
 
     def remove(self, file: SSTableFile) -> None:
         """Detach ``file`` from the table (it keeps its own state)."""
@@ -52,6 +63,7 @@ class SortedTable:
             raise TableError(f"file {file.file_id} not in table") from None
         del self._files[position]
         del self._max_keys[position]
+        self._size_cache = None
 
     def replace_range(
         self, old: list[SSTableFile], new: list[SSTableFile]
@@ -71,24 +83,47 @@ class SortedTable:
             raise TableError("replace_range: old files are not contiguous")
         self._files[start : start + len(old)] = new
         self._max_keys[start : start + len(old)] = [f.max_key for f in new]
-        self._check_sorted()
+        self._size_cache = None
+        self._check_sorted_around(start - 1, start + len(new))
 
     def insert_sorted(self, file: SSTableFile) -> None:
         """Insert ``file`` at its key-order position."""
         position = bisect_left(self._max_keys, file.min_key)
         self._files.insert(position, file)
         self._max_keys.insert(position, file.max_key)
-        self._check_sorted()
+        self._size_cache = None
+        self._check_sorted_around(position - 1, position + 1)
 
     def pop_first(self) -> SSTableFile:
         """Remove and return the file with the smallest keys."""
         if not self._files:
             raise TableError("pop from an empty sorted table")
         self._max_keys.pop(0)
+        self._size_cache = None
         return self._files.pop(0)
 
     def _check_sorted(self) -> None:
         for left, right in zip(self._files, self._files[1:]):
+            if left.max_key >= right.min_key:
+                raise TableError(
+                    f"files {left.file_id} and {right.file_id} overlap"
+                )
+
+    def _check_sorted_around(self, lo: int, hi: int) -> None:
+        """Validate ordering across the just-edited slice ``[lo, hi]``.
+
+        A local edit can only introduce overlaps between the new members
+        and each other or their immediate neighbours, so checking the
+        touched window (inclusive of one neighbour on each side) gives
+        the same protection as the full :meth:`_check_sorted` walk
+        without re-scanning hundreds of untouched files per compaction.
+        """
+        files = self._files
+        lo = max(lo, 0)
+        hi = min(hi, len(files) - 1)
+        for position in range(lo, hi):
+            left = files[position]
+            right = files[position + 1]
             if left.max_key >= right.min_key:
                 raise TableError(
                     f"files {left.file_id} and {right.file_id} overlap"
@@ -113,7 +148,13 @@ class SortedTable:
     @property
     def size_kb(self) -> int:
         """Live data size (removed markers contribute nothing)."""
-        return sum(f.size_kb for f in self._files if not f.removed)
+        epoch = SSTableFile.removal_epoch
+        if self._size_cache is None or self._size_epoch != epoch:
+            self._size_cache = sum(
+                f.size_kb for f in self._files if not f.removed
+            )
+            self._size_epoch = epoch
+        return self._size_cache
 
     @property
     def min_key(self) -> int | None:
@@ -128,11 +169,14 @@ class SortedTable:
     # ------------------------------------------------------------------
     def find_file(self, key: int) -> SSTableFile | None:
         """The file whose range covers ``key`` (may carry ``removed``)."""
-        position = bisect_left(self._max_keys, key)
-        if position >= len(self._files):
+        max_keys = self._max_keys
+        position = bisect_left(max_keys, key)
+        if position == len(max_keys):
             return None
         file = self._files[position]
-        return file if file.covers(key) else None
+        # bisect_left guarantees key <= file.max_key here, so covering
+        # reduces to the lower bound.
+        return file if file.min_key <= key else None
 
     def files_overlapping(self, low: int, high: int) -> list[SSTableFile]:
         """All files intersecting ``[low, high]`` in key order."""

@@ -40,6 +40,14 @@ class FileIdSource:
 class SSTableFile:
     """An immutable sorted file of blocks on one contiguous extent."""
 
+    #: Global removal-marker epoch: bumped by every :meth:`mark_removed`.
+    #: A file's ``size_kb`` contribution to any containing
+    #: :class:`~repro.sstable.sorted_table.SortedTable` drops to zero the
+    #: instant it is marked removed — without the table being told — so
+    #: tables key their cached sizes on this epoch to notice externally
+    #: removed members without re-summing on every read.
+    removal_epoch: int = 0
+
     __slots__ = (
         "file_id",
         "min_key",
@@ -62,15 +70,21 @@ class SSTableFile:
     ) -> None:
         if not blocks:
             raise TableError("a file must contain at least one block")
-        for left, right in zip(blocks, blocks[1:]):
-            if left.max_key >= right.min_key:
+        max_keys = []
+        num_entries = 0
+        previous_max = None
+        for block in blocks:
+            if previous_max is not None and previous_max >= block.min_key:
                 raise TableError("file blocks must be sorted and disjoint")
+            previous_max = block.max_key
+            max_keys.append(previous_max)
+            num_entries += len(block)
         self.file_id = file_id
         self._blocks = blocks
-        self._block_max_keys = [block.max_key for block in blocks]
+        self._block_max_keys = max_keys
         self.min_key = blocks[0].min_key
-        self.max_key = blocks[-1].max_key
-        self.num_entries = sum(len(block) for block in blocks)
+        self.max_key = previous_max
+        self.num_entries = num_entries
         self.size_kb = extent.size_kb
         self.extent = extent
         #: Id of the super-file this file belongs to, if any (Section IV-C).
@@ -118,6 +132,7 @@ class SSTableFile:
         self.removed = True
         self._blocks = []
         self._block_max_keys = []
+        SSTableFile.removal_epoch += 1
 
     def _check_not_removed(self) -> None:
         if self.removed:
@@ -128,12 +143,15 @@ class SSTableFile:
     # ------------------------------------------------------------------
     def find_block(self, key: int) -> Block | None:
         """The block whose range covers ``key``, if one exists."""
-        self._check_not_removed()
-        position = bisect_left(self._block_max_keys, key)
-        if position >= len(self._blocks):
+        if self.removed:
+            self._check_not_removed()
+        max_keys = self._block_max_keys
+        position = bisect_left(max_keys, key)
+        if position == len(max_keys):
             return None
         block = self._blocks[position]
-        return block if block.covers(key) else None
+        # bisect_left guarantees key <= block.max_key here.
+        return block if block.min_key <= key else None
 
     def blocks_overlapping(self, low: int, high: int) -> list[Block]:
         """All blocks intersecting ``[low, high]`` in key order."""
@@ -153,3 +171,14 @@ class SSTableFile:
         self._check_not_removed()
         for block in self._blocks:
             yield from block
+
+    def entry_list(self) -> list[Entry]:
+        """All entries as a list (the compaction merge's bulk read)."""
+        self._check_not_removed()
+        blocks = self._blocks
+        if len(blocks) == 1:
+            return list(blocks[0].entries)
+        result: list[Entry] = []
+        for block in blocks:
+            result.extend(block.entries)
+        return result

@@ -54,7 +54,7 @@ class DiskStats:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class _TickLedger:
     """Background (compaction) traffic recorded for one virtual second."""
 
@@ -101,6 +101,14 @@ class SimulatedDisk:
         Called by :class:`~repro.substrate.Substrate`; until then the disk
         writes to the shared null registry, so standalone construction
         (unit tests, ad-hoc scripts) pays nothing.
+
+        The per-operation counters (sequential KB, seeks, random blocks,
+        per-cause traffic) are published *deferred*: the I/O paths write
+        only the plain ``stats``/cause dicts, and a registered flush
+        callback copies them into the instruments whenever the registry
+        flushes (every snapshot does).  Allocation counters and the
+        live-KB gauge stay live — extent churn is orders of magnitude
+        rarer than I/O accounting.
         """
         self._registry = registry
         self._m_seq_read_kb = registry.counter("disk.seq_read_kb")
@@ -110,13 +118,45 @@ class SimulatedDisk:
         self._m_allocations = registry.counter("disk.allocations")
         self._m_frees = registry.counter("disk.frees")
         self._m_live_kb = registry.gauge("disk.live_kb")
+        stats = self.stats
+        self._m_offsets = (
+            self._m_seq_read_kb.value - stats.seq_read_kb,
+            self._m_seq_write_kb.value - stats.seq_write_kb,
+            self._m_random_reads.value - stats.random_read_blocks,
+            self._m_seeks.value - stats.seeks,
+            self._m_allocations.value - stats.allocations,
+            self._m_frees.value - stats.frees,
+        )
         # Per-cause counters are created lazily (causes arrive at
         # runtime); rebinding re-registers the causes seen so far.
         self._m_cause: dict[tuple[str, str], object] = {}
+        self._m_cause_offsets: dict[tuple[str, str], float] = {}
         for cause in self.cause_read_kb:
             self._cause_counter("read", cause)
         for cause in self.cause_write_kb:
             self._cause_counter("write", cause)
+        registry.register_flush(self._publish_metrics)
+
+    def _publish_metrics(self) -> None:
+        """Copy the hot-path ledgers into the registry instruments."""
+        stats = self.stats
+        seq_read, seq_write, random_reads, seeks, allocs, frees = (
+            self._m_offsets
+        )
+        self._m_seq_read_kb.value = seq_read + stats.seq_read_kb
+        self._m_seq_write_kb.value = seq_write + stats.seq_write_kb
+        self._m_random_reads.value = random_reads + stats.random_read_blocks
+        self._m_seeks.value = seeks + stats.seeks
+        self._m_allocations.value = allocs + stats.allocations
+        self._m_frees.value = frees + stats.frees
+        self._m_live_kb.set(self._allocator.live_kb)
+        offsets = self._m_cause_offsets
+        for cause, total in self.cause_read_kb.items():
+            counter = self._cause_counter("read", cause)
+            counter.value = offsets[("read", cause)] + total
+        for cause, total in self.cause_write_kb.items():
+            counter = self._cause_counter("write", cause)
+            counter.value = offsets[("write", cause)] + total
 
     # ------------------------------------------------------------------
     # Space management.
@@ -127,8 +167,6 @@ class SimulatedDisk:
             self.fault_hook("disk.allocate")
         extent = self._allocator.allocate(size_kb)
         self.stats.allocations += 1
-        self._m_allocations.inc()
-        self._m_live_kb.set(self._allocator.live_kb)
         return extent
 
     def free(self, extent: Extent) -> None:
@@ -137,8 +175,6 @@ class SimulatedDisk:
             self.fault_hook("disk.free")
         self._allocator.free(extent)
         self.stats.frees += 1
-        self._m_frees.inc()
-        self._m_live_kb.set(self._allocator.live_kb)
 
     def is_live(self, extent: Extent) -> bool:
         return self._allocator.is_live(extent)
@@ -169,7 +205,6 @@ class SimulatedDisk:
             self.fault_hook("disk.background_read")
         self._record_background(size_kb, seeks)
         self.stats.seq_read_kb += size_kb
-        self._m_seq_read_kb.inc(size_kb)
         self._attribute("read", cause, size_kb)
 
     def background_write(
@@ -180,7 +215,6 @@ class SimulatedDisk:
             self.fault_hook("disk.background_write")
         self._record_background(size_kb, seeks)
         self.stats.seq_write_kb += size_kb
-        self._m_seq_write_kb.inc(size_kb)
         self._attribute("write", cause, size_kb)
 
     def note_temp_space(self, size_kb: float) -> None:
@@ -196,26 +230,34 @@ class SimulatedDisk:
     def _record_background(self, size_kb: float, seeks: int) -> None:
         if size_kb < 0:
             raise StorageError(f"negative I/O size: {size_kb}")
-        self._roll_tick()
-        self._tick.background_kb += size_kb
-        self._tick.background_seeks += seeks
+        tick = self._tick
+        if tick.second != self._clock.now:
+            self._roll_tick()
+            tick = self._tick
+        tick.background_kb += size_kb
+        tick.background_seeks += seeks
         self.stats.seeks += seeks
-        self._m_seeks.inc(seeks)
 
     # ------------------------------------------------------------------
     # Per-cause bandwidth attribution.
     # ------------------------------------------------------------------
     def _cause_counter(self, kind: str, cause: str):
-        counter = self._m_cause.get((kind, cause))
+        key = (kind, cause)
+        counter = self._m_cause.get(key)
         if counter is None:
             counter = self._registry.counter(f"disk.bw.{cause}.{kind}_kb")
-            self._m_cause[(kind, cause)] = counter
+            self._m_cause[key] = counter
+            # The counter may pre-exist with a value (rebind); the offset
+            # keeps deferred publication from double-counting.
+            totals = (
+                self.cause_read_kb if kind == "read" else self.cause_write_kb
+            )
+            self._m_cause_offsets[key] = counter.value - totals.get(cause, 0.0)
         return counter
 
     def _attribute(self, kind: str, cause: str, size_kb: float) -> None:
         totals = self.cause_read_kb if kind == "read" else self.cause_write_kb
         totals[cause] = totals.get(cause, 0.0) + size_kb
-        self._cause_counter(kind, cause).inc(size_kb)
 
     def record_cause(self, cause: str) -> None:
         """Register a zero-I/O cause so reports list it explicitly.
@@ -241,12 +283,20 @@ class SimulatedDisk:
         }
 
     def _roll_tick(self) -> None:
-        if self._tick.second != self._clock.now:
-            if self._tick.second >= 0:
-                elapsed = self._clock.now - self._tick.second
+        # The ledger is reset in place rather than reallocated — it is
+        # rolled once per virtual second and nothing else holds a
+        # reference to it.
+        tick = self._tick
+        now = self._clock.now
+        if tick.second != now:
+            if tick.second >= 0:
+                elapsed = now - tick.second
                 pending = self._backlog_kb + self._pending_tick_kb()
                 self._backlog_kb = max(0.0, pending - elapsed * self._bandwidth)
-            self._tick = _TickLedger(second=self._clock.now)
+            tick.second = now
+            tick.background_kb = 0.0
+            tick.background_seeks = 0
+            tick.temp_space_kb = 0.0
 
     def _pending_tick_kb(self) -> float:
         """This tick's background work, seeks converted to transfer-KB."""
@@ -262,16 +312,12 @@ class SimulatedDisk:
     def foreground_random_read(self, blocks: int = 1) -> None:
         self.stats.random_read_blocks += blocks
         self.stats.seeks += blocks
-        self._m_random_reads.inc(blocks)
-        self._m_seeks.inc(blocks)
 
     def foreground_sequential_read(
         self, size_kb: float, seeks: int = 1, cause: str = "query"
     ) -> None:
         self.stats.seq_read_kb += size_kb
         self.stats.seeks += seeks
-        self._m_seq_read_kb.inc(size_kb)
-        self._m_seeks.inc(seeks)
         self._attribute("read", cause, size_kb)
 
     # ------------------------------------------------------------------
@@ -283,8 +329,16 @@ class SimulatedDisk:
         Includes carried-over backlog: a burst bigger than one second of
         bandwidth keeps the device saturated across following seconds.
         """
-        self._roll_tick()
-        pending = self._backlog_kb + self._pending_tick_kb()
+        tick = self._tick
+        if tick.second != self._clock.now:
+            self._roll_tick()
+            tick = self._tick
+        # Inlined _pending_tick_kb; the parentheses keep the original
+        # ``backlog + (kb + seeks*...)`` float association exactly.
+        pending = self._backlog_kb + (
+            tick.background_kb
+            + tick.background_seeks * 0.005 * self._bandwidth
+        )
         return min(pending / self._bandwidth, 1.0)
 
     @property
@@ -294,5 +348,6 @@ class SimulatedDisk:
 
     def tick_temp_space_kb(self) -> float:
         """Peak transient compaction space recorded this second."""
-        self._roll_tick()
+        if self._tick.second != self._clock.now:
+            self._roll_tick()
         return self._tick.temp_space_kb

@@ -116,15 +116,19 @@ class HBaseStyleStore(LSMEngine):
     ) -> SortedTable:
         input_files = [f for table in tables for f in table.files]
         input_kb = float(sum(f.size_kb for f in input_files))
-        if self.bus.active:
-            self.bus.emit(
-                CompactionStart(
-                    level=0,
-                    input_files=len(input_files),
-                    input_kb=input_kb,
-                    kind=kind,
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionStart)
+            else:
+                bus.emit(
+                    CompactionStart(
+                        level=0,
+                        input_files=len(input_files),
+                        input_kb=input_kb,
+                        kind=kind,
+                    )
                 )
-            )
         sources = [list(f.entries()) for f in input_files]
         merged, obsolete = merge_with_obsolete_count(
             sources, drop_tombstones=drop_obsolete
@@ -140,17 +144,20 @@ class HBaseStyleStore(LSMEngine):
         self._account_compaction(
             input_kb, output_kb, obsolete if drop_obsolete else 0
         )
-        if self.bus.active:
-            self.bus.emit(
-                CompactionEnd(
-                    level=0,
-                    read_kb=input_kb,
-                    write_kb=output_kb,
-                    output_files=len(new_files),
-                    obsolete_entries=obsolete if drop_obsolete else 0,
-                    kind=kind,
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionEnd)
+            else:
+                bus.emit(
+                    CompactionEnd(
+                        level=0,
+                        read_kb=input_kb,
+                        write_kb=output_kb,
+                        output_files=len(new_files),
+                        obsolete_entries=obsolete if drop_obsolete else 0,
+                        kind=kind,
+                    )
                 )
-            )
         return SortedTable(new_files)
 
     # ------------------------------------------------------------------

@@ -62,7 +62,13 @@ class WarmupBLSMTree(BLSMTree):
     # ------------------------------------------------------------------
     def _read_block(self, file: SSTableFile, block: Block, cost: ReadCost) -> None:
         super()._read_block(file, block, cost)
-        self._hot_marks.setdefault(file.file_id, set()).add(block.index)
+        # get-then-add instead of setdefault: the common (already-marked)
+        # case skips allocating a fresh set per read.
+        marks = self._hot_marks.get(file.file_id)
+        if marks is None:
+            self._hot_marks[file.file_id] = {block.index}
+        else:
+            marks.add(block.index)
 
     # ------------------------------------------------------------------
     # Warm on compaction.

@@ -1,0 +1,169 @@
+"""Unit tests for the speed-baseline gate (:mod:`repro.sim.speedgate`).
+
+These exercise the decision logic against synthetic measurements — the
+grid itself is only timed by ``repro bench-baseline`` (CI's speed-gate
+job) so the test suite stays fast and noise-free.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import speedgate
+
+
+def _identity() -> dict:
+    return {
+        "reads_completed": {e: 100 + i for i, e in enumerate(speedgate.GRID_ENGINES)},
+        "writes_applied": {e: 50 for e in speedgate.GRID_ENGINES},
+    }
+
+
+def _measured(ops_per_s: float, identity: dict | None = None) -> dict:
+    return {
+        "grid": {
+            "engines": list(speedgate.GRID_ENGINES),
+            "scale": speedgate.GRID_SCALE,
+            "duration_s": speedgate.GRID_DURATION_S,
+            "seed": speedgate.GRID_SEED,
+            "total_ops": 1000,
+        },
+        "trials": 3,
+        "trial_walls_s": [1.0, 1.1, 1.2],
+        "best": {"grid_wall_s": 1.0, "grid_ops_per_s": ops_per_s},
+        "median": {"grid_wall_s": 1.1, "grid_ops_per_s": ops_per_s * 0.9},
+        "engines": {
+            e: {"wall_clock_s": 0.25, "ops_per_s": ops_per_s}
+            for e in speedgate.GRID_ENGINES
+        },
+        "identity": identity if identity is not None else _identity(),
+        "measured_at": "2026-01-01T00:00:00Z",
+    }
+
+
+def _baseline(floor: float = 1000.0) -> dict:
+    recorded = _measured(floor)
+    return {
+        "schema_version": speedgate.BASELINE_SCHEMA_VERSION,
+        "grid": recorded["grid"],
+        "seed_scalar": {
+            "commit": "0" * 40,
+            "grid_wall_s": 4.0,
+            "grid_ops_per_s": floor / 3,
+            "engines": {},
+        },
+        "recorded": {
+            "measured_at": recorded["measured_at"],
+            "trials": recorded["trials"],
+            "trial_walls_s": recorded["trial_walls_s"],
+            "best": recorded["best"],
+            "median": recorded["median"],
+            "engines": recorded["engines"],
+            "identity": recorded["identity"],
+        },
+        "gate": {"min_ratio": 0.8},
+    }
+
+
+def test_gate_passes_at_and_above_the_floor_ratio(monkeypatch):
+    monkeypatch.delenv("REPRO_SPEED_GATE", raising=False)
+    monkeypatch.delenv("REPRO_SPEED_GATE_RATIO", raising=False)
+    for ops in (800.0, 1000.0, 1500.0):
+        outcome = speedgate.evaluate_gate(_measured(ops), _baseline(1000.0))
+        assert outcome.passed, ops
+        assert outcome.status == "PASS"
+    assert speedgate.evaluate_gate(
+        _measured(1500.0), _baseline(1000.0)
+    ).ratio == pytest.approx(1.5)
+
+
+def test_gate_fails_more_than_20_percent_below(monkeypatch):
+    monkeypatch.delenv("REPRO_SPEED_GATE", raising=False)
+    monkeypatch.delenv("REPRO_SPEED_GATE_RATIO", raising=False)
+    outcome = speedgate.evaluate_gate(_measured(799.0), _baseline(1000.0))
+    assert not outcome.passed
+    assert outcome.status == "FAIL"
+    assert "below the recorded" in outcome.reasons[0]
+
+
+def test_identity_mismatch_fails_regardless_of_speed(monkeypatch):
+    monkeypatch.delenv("REPRO_SPEED_GATE", raising=False)
+    identity = _identity()
+    identity["reads_completed"]["lsbm"] += 1
+    outcome = speedgate.evaluate_gate(
+        _measured(10_000.0, identity), _baseline(1000.0)
+    )
+    assert not outcome.passed
+    assert "op counts differ" in outcome.reasons[0]
+    assert any("lsbm.reads_completed" in r for r in outcome.reasons)
+
+
+def test_env_ratio_override_loosens_the_gate(monkeypatch):
+    monkeypatch.delenv("REPRO_SPEED_GATE", raising=False)
+    monkeypatch.setenv("REPRO_SPEED_GATE_RATIO", "0.5")
+    outcome = speedgate.evaluate_gate(_measured(600.0), _baseline(1000.0))
+    assert outcome.passed
+    assert outcome.min_ratio == 0.5
+    monkeypatch.setenv("REPRO_SPEED_GATE_RATIO", "1.5")
+    with pytest.raises(ValueError):
+        speedgate.evaluate_gate(_measured(600.0), _baseline(1000.0))
+
+
+def test_env_switch_skips_the_gate(monkeypatch):
+    monkeypatch.setenv("REPRO_SPEED_GATE", "off")
+    outcome = speedgate.evaluate_gate(_measured(1.0), _baseline(1000.0))
+    assert outcome.passed and outcome.skipped
+    assert outcome.status == "SKIPPED"
+
+
+def test_record_preserves_seed_scalar_and_gate(tmp_path, monkeypatch):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(_baseline(1000.0)))
+    written = speedgate.record_baseline(_measured(2000.0), path)
+    payload = speedgate.load_baseline(written)
+    assert payload["seed_scalar"]["grid_ops_per_s"] == pytest.approx(1000 / 3)
+    assert payload["gate"] == {"min_ratio": 0.8}
+    assert payload["recorded"]["best"]["grid_ops_per_s"] == 2000.0
+
+
+def test_load_rejects_wrong_schema_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"schema_version": 99}))
+    with pytest.raises(ValueError):
+        speedgate.load_baseline(path)
+
+
+def test_find_baseline_path_env_override(monkeypatch, tmp_path):
+    target = tmp_path / "elsewhere.json"
+    monkeypatch.setenv("REPRO_BASELINE_PATH", str(target))
+    assert speedgate.find_baseline_path() == target
+
+
+def test_shipped_baseline_is_loadable_and_consistent(monkeypatch):
+    monkeypatch.delenv("REPRO_BASELINE_PATH", raising=False)
+    path = speedgate.find_baseline_path()
+    assert path.exists(), "benchmarks/baseline.json must ship with the repo"
+    payload = speedgate.load_baseline(path)
+    assert payload["grid"]["engines"] == list(speedgate.GRID_ENGINES)
+    recorded = payload["recorded"]
+    for section in ("reads_completed", "writes_applied"):
+        assert set(recorded["identity"][section]) == set(speedgate.GRID_ENGINES)
+    # The recorded tree must actually be faster than the seed scalar
+    # tree it is compared against — otherwise the README claim is stale.
+    assert (
+        recorded["best"]["grid_ops_per_s"]
+        > payload["seed_scalar"]["grid_ops_per_s"]
+    )
+
+
+def test_format_report_mentions_gate_and_multiple(monkeypatch):
+    monkeypatch.delenv("REPRO_SPEED_GATE", raising=False)
+    monkeypatch.delenv("REPRO_SPEED_GATE_RATIO", raising=False)
+    measured = _measured(900.0)
+    baseline = _baseline(1000.0)
+    outcome = speedgate.evaluate_gate(measured, baseline)
+    report = speedgate.format_report(measured, baseline, outcome)
+    assert "vs seed scalar tree" in report
+    assert "speed gate: PASS" in report
