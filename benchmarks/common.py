@@ -164,9 +164,11 @@ def write_report(name: str, text: str) -> None:
 #: Bench-telemetry JSON schema version (bump on breaking layout change).
 #: Version 2: run entries must carry ``stall_seconds``; serve runs (from
 #: ``repro serve`` / the serve SLO benchmark) add ``"kind": "serve"``
-#: entries with per-class percentiles.  Keep in sync with
-#: ``repro.sim.sweep.SWEEP_SCHEMA_VERSION``.
-BENCH_SCHEMA_VERSION = 2
+#: entries with per-class percentiles.
+#: Version 3: cluster runs (from ``repro cluster`` / the hot-shard
+#: benchmark) add ``"kind": "cluster"`` entries with per-shard ledgers.
+#: Keep in sync with ``repro.sim.sweep.SWEEP_SCHEMA_VERSION``.
+BENCH_SCHEMA_VERSION = 3
 
 #: Required per-run fields and their types, for :func:`validate_bench`.
 _BENCH_RUN_FIELDS = {
@@ -197,6 +199,22 @@ _BENCH_SERVE_RUN_FIELDS = {
     "deferred": int,
     "reconciliation_max_error_s": float,
     "classes": dict,
+}
+
+#: Additional required fields for cluster-kind run entries.
+_BENCH_CLUSTER_RUN_FIELDS = {
+    "policy": str,
+    "arrival": str,
+    "offered_read_qps": float,
+    "goodput_qps": float,
+    "num_shards": int,
+    "partitioner": str,
+    "shed": int,
+    "deferred": int,
+    "read_imbalance": float,
+    "hottest_shard": int,
+    "shard_read_p99_ms": list,
+    "per_shard": dict,
 }
 
 
@@ -246,6 +264,8 @@ def validate_bench(payload: dict) -> None:
         required = dict(_BENCH_RUN_FIELDS)
         if run.get("kind") == "serve":
             required.update(_BENCH_SERVE_RUN_FIELDS)
+        elif run.get("kind") == "cluster":
+            required.update(_BENCH_CLUSTER_RUN_FIELDS)
         for field, kind in required.items():
             value = run.get(field)
             if kind is float and isinstance(value, int):

@@ -1,0 +1,146 @@
+"""Cluster hot-shard skew — RangeHot over range-partitioned shards.
+
+Range partitioning a RangeHot workload concentrates ~98% of reads on
+the shards holding the hot range, so one shard saturates while its
+siblings idle — the classic hot-shard problem.  This benchmark drives a
+4-shard range-partitioned cluster of LevelDB vs LSbM engines at a
+moderate and a near-saturation cluster-wide rate and reports per-shard
+read p99 and cluster goodput.  The paper's thesis survives sharding:
+the hot shard is exactly where compaction-induced cache invalidation
+hurts, so LSbM's buffer-cache preservation shows up as a several-fold
+lower hot-shard p99 and, at saturation, more goodput with less
+shedding.
+
+Knobs: ``REPRO_BENCH_SCALE``/``REPRO_BENCH_JOBS`` as everywhere, plus
+``REPRO_BENCH_CLUSTER_DURATION`` (default 2,000 virtual seconds; the
+qualitative assertions need at least ~1,000) and
+``REPRO_BENCH_CLUSTER_SEED`` (default 0, the ``repro cluster`` CLI
+default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cluster import (
+    ClusterResult,
+    cluster_payload,
+    expand_cluster_grid,
+    run_cluster_grid,
+)
+from repro.sim.report import ascii_table
+
+from .common import (
+    BENCH_JOBS,
+    BENCH_SCALE,
+    RESULTS_DIR,
+    validate_bench,
+    write_report,
+)
+
+ENGINES = ("leveldb", "lsbm")
+NUM_SHARDS = 4
+#: Cluster-wide offered read rates in paper-scale QPS.  At scale 2048
+#: the hot shard (holding ~3/4 of the hot range) takes ~73% of reads,
+#: so 6k is comfortable and 12k drives that shard into saturation.
+RATES = (6000.0, 12000.0)
+CLUSTER_DURATION = int(
+    os.environ.get("REPRO_BENCH_CLUSTER_DURATION", "2000")
+)
+CLUSTER_SEED = int(os.environ.get("REPRO_BENCH_CLUSTER_SEED", "0"))
+
+
+def test_cluster_hot_shard_skew(benchmark):
+    specs = expand_cluster_grid(
+        list(ENGINES),
+        [NUM_SHARDS],
+        ["range"],
+        list(RATES),
+        [CLUSTER_SEED],
+        scale=BENCH_SCALE,
+        duration_s=CLUSTER_DURATION,
+    )
+    entries = benchmark.pedantic(
+        lambda: run_cluster_grid(specs, jobs=BENCH_JOBS),
+        rounds=1,
+        iterations=1,
+    )
+    by_cell: dict[tuple[str, float], ClusterResult] = {}
+    for spec, result, _wall in entries:
+        by_cell[(spec.engine, spec.read_rate_qps)] = result
+
+    rows = []
+    for engine in ENGINES:
+        for rate in RATES:
+            result = by_cell[(engine, rate)]
+            hot = result.hottest_shard()
+            shard_p99 = result.shard_read_p99_ms()
+            rows.append(
+                [
+                    engine,
+                    f"{rate:g}",
+                    f"{result.goodput_qps():.0f}",
+                    f"{result.read_imbalance():.2f}x",
+                    str(hot),
+                    f"{shard_p99[hot]:.0f}",
+                    " ".join(f"{p:.0f}" for p in shard_p99),
+                    str(result.total_shed),
+                ]
+            )
+    report = "\n".join(
+        [
+            "Cluster hot-shard skew — RangeHot over "
+            f"{NUM_SHARDS} range-partitioned shards",
+            f"(scale {BENCH_SCALE}, {CLUSTER_DURATION}s, fifo, "
+            f"seed {CLUSTER_SEED})",
+            ascii_table(
+                [
+                    "engine",
+                    "offered QPS",
+                    "goodput QPS",
+                    "imbalance",
+                    "hot shard",
+                    "hot p99 ms",
+                    "per-shard p99 ms",
+                    "shed",
+                ],
+                rows,
+            ),
+        ]
+    )
+    write_report("cluster_skew", report)
+
+    payload = cluster_payload("cluster_skew", entries)
+    validate_bench(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_cluster_skew.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench telemetry written to {path}]")
+
+    for (engine, rate), result in by_cell.items():
+        # RangeHot + range partitioning concentrates reads: the hot
+        # shard completes more than its siblings combined.
+        assert result.read_imbalance() > 2.0, (engine, rate)
+        hot = result.hottest_shard()
+        hot_reads = result.shards[hot].reads_completed
+        assert hot_reads > result.reads_completed - hot_reads, (engine, rate)
+        # The hot shard is also where the tail lives.
+        shard_p99 = result.shard_read_p99_ms()
+        assert shard_p99[hot] == max(shard_p99), (engine, rate)
+
+    # LSbM's preserved buffer cache keeps the hot shard's tail down at
+    # every rate…
+    for rate in RATES:
+        leveldb = by_cell[("leveldb", rate)]
+        lsbm = by_cell[("lsbm", rate)]
+        assert (
+            lsbm.shard_read_p99_ms()[lsbm.hottest_shard()]
+            < leveldb.shard_read_p99_ms()[leveldb.hottest_shard()]
+        ), rate
+
+    # …and at the saturating rate it also wins on goodput and shedding.
+    leveldb_high = by_cell[("leveldb", RATES[1])]
+    lsbm_high = by_cell[("lsbm", RATES[1])]
+    assert lsbm_high.goodput_qps() > leveldb_high.goodput_qps()
+    assert lsbm_high.total_shed < leveldb_high.total_shed

@@ -29,6 +29,13 @@ Usage (installed or via ``python -m repro.cli``):
     python -m repro.cli serve --engines leveldb,lsbm --rate 2000,8000 \\
         --policy fifo,read-priority --json
 
+    # sharded cluster: engines x shard counts x partitioners, fanned
+    python -m repro.cli cluster --engines leveldb,lsbm --shards 4 \\
+        --partitioner range --rate 8000 --jobs 4 --json
+
+    # replay an archived operation trace against an engine
+    python -m repro.cli trace replay trace.txt --engine lsbm --json
+
     # causal profiling report: span traces, per-cause disk bandwidth,
     # event-annotated hit-ratio curve, dip diagnosis
     python -m repro.cli report --engine leveldb --duration 8000
@@ -488,7 +495,156 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Headers for the cluster summary table (one row per cluster cell).
+_CLUSTER_HEADERS = [
+    "cluster", "shards", "goodput", "p50 ms", "p99 ms", "imbalance",
+    "hottest", "shed", "deferred",
+]
+
+#: Headers for the per-shard detail table.
+_SHARD_HEADERS = [
+    "cluster", "shard", "reads", "writes", "goodput", "p99 ms", "hit",
+    "stall s", "shed",
+]
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Sharded cluster grid: engines × shard counts × partitioners."""
+    from repro.cluster import (
+        PARTITIONERS,
+        cluster_payload,
+        expand_cluster_grid,
+        run_cluster_grid,
+    )
+    from repro.serve.scheduler import SCHEDULER_NAMES
+
+    names = [name.strip() for name in args.engines.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ENGINE_NAMES]
+    if unknown:
+        print(f"unknown engines: {unknown}; see `engines`", file=sys.stderr)
+        return 2
+    if args.policy not in SCHEDULER_NAMES:
+        print(
+            f"unknown policy {args.policy!r}; choose from {SCHEDULER_NAMES}",
+            file=sys.stderr,
+        )
+        return 2
+    partitioners = [p.strip() for p in args.partitioner.split(",") if p.strip()]
+    bad = [p for p in partitioners if p not in PARTITIONERS]
+    if bad:
+        print(
+            f"unknown partitioners: {bad}; choose from {PARTITIONERS}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        shard_counts = [int(s) for s in args.shards.split(",") if s.strip()]
+        rates = [float(r) for r in args.rate.split(",") if r.strip()]
+        seeds = _parse_seeds(args.seeds)
+        common: dict[str, object] = {
+            "scale": args.scale,
+            "duration_s": args.duration,
+            "policy": args.policy,
+            "arrival": args.arrival,
+            "queue_bound": args.queue_bound,
+            "verify": args.verify,
+        }
+        if args.write_rate is not None:
+            common["write_rate_qps"] = args.write_rate
+        if args.split_at is not None:
+            common.update(
+                split_at_s=args.split_at,
+                split_source=args.split_source,
+                split_target=args.split_target,
+                split_fraction=args.split_fraction,
+            )
+        specs = expand_cluster_grid(
+            names, shard_counts, partitioners, rates, seeds, **common
+        )
+    except (ConfigError, ValueError) as error:
+        print(f"cluster: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"cluster: {len(specs)} cells ({len(names)} engines × "
+        f"{len(shard_counts)} shard counts × {len(partitioners)} "
+        f"partitioners × {len(rates)} rates × {len(seeds)} seeds), "
+        f"jobs={args.jobs}",
+        file=sys.stderr,
+    )
+    try:
+        entries = run_cluster_grid(specs, jobs=args.jobs)
+    except ConfigError as error:
+        print(f"cluster: {error}", file=sys.stderr)
+        return 2
+    payload = cluster_payload(args.name, entries)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"cluster payload written to {out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    summary_rows = []
+    shard_rows = []
+    for spec, result, _wall in entries:
+        summary_rows.append(
+            [
+                spec.label(),
+                str(result.num_shards),
+                format_qps(result.goodput_qps()),
+                f"{result.read_percentile_ms(50):.2f}",
+                f"{result.read_percentile_ms(99):.2f}",
+                f"{result.read_imbalance():.2f}x",
+                str(result.hottest_shard()),
+                str(result.total_shed),
+                str(result.total_deferred),
+            ]
+        )
+        for index, summary in result.per_shard_summary().items():
+            shard_rows.append(
+                [
+                    spec.label(),
+                    index,
+                    str(summary["reads_completed"]),
+                    str(summary["writes_applied"]),
+                    format_qps(summary["goodput_qps"]),
+                    f"{summary['latency_p99_ms']:.2f}",
+                    f"{summary['mean_hit_ratio']:.3f}",
+                    f"{summary['stall_seconds']:.1f}",
+                    str(summary["shed"]),
+                ]
+            )
+        if result.migration is not None:
+            m = result.migration
+            print(
+                f"{spec.label()}: migrated [{m.low}, {m.high}) "
+                f"({m.entries} entries, {m.drained_requests} queued, "
+                f"{m.moved_retries} retries) shard {m.source} -> "
+                f"{m.target} at t={m.at_s}s",
+                file=sys.stderr,
+            )
+        if result.verify is not None:
+            print(
+                f"{spec.label()}: oracle checked "
+                f"{result.verify['reads_checked']} reads, "
+                f"{result.verify['read_mismatches']} mismatches",
+                file=sys.stderr,
+            )
+    print(ascii_table(_CLUSTER_HEADERS, summary_rows))
+    print()
+    print(ascii_table(_SHARD_HEADERS, shard_rows))
+    total_wall = sum(wall for _, _, wall in entries)
+    print(f"\n{len(entries)} cluster cells in {total_wall:.1f}s")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
+    if getattr(args, "trace_command", None) == "replay":
+        return cmd_trace_replay(args)
+    if args.engine is None:
+        print("trace: --engine is required", file=sys.stderr)
+        return 2
     config = SystemConfig.paper_scaled(args.scale)
     print(
         f"tracing {args.engine} at 1/{args.scale} scale for "
@@ -506,6 +662,47 @@ def cmd_trace(args: argparse.Namespace) -> int:
     for name in sorted(result.event_counts):
         print(f"{name}: {result.event_counts[name]}", file=sys.stderr)
     print(f"trace written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> int:
+    """Replay an archived operation trace against one engine."""
+    from repro.errors import WorkloadError
+    from repro.sim.experiment import build_engine, preload
+    from repro.workload.trace import load_trace, replay_trace
+
+    try:
+        ops = load_trace(args.file)
+    except OSError as error:
+        print(f"trace replay: {error}", file=sys.stderr)
+        return 2
+    except WorkloadError as error:
+        print(f"trace replay: {error}", file=sys.stderr)
+        return 2
+    config = SystemConfig.paper_scaled(args.scale)
+    setup = build_engine(args.engine, config)
+    if args.preload:
+        preload(setup)
+    print(
+        f"replaying {len(ops)} trace ops against {args.engine} "
+        f"at 1/{args.scale} scale",
+        file=sys.stderr,
+    )
+    result = replay_trace(setup.engine, setup.clock, ops)
+    summary = dataclasses.asdict(result)
+    summary["engine"] = args.engine
+    summary["ops"] = len(ops)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [field, str(getattr(result, field))]
+        for field in (
+            "puts", "gets", "deletes", "scans", "ticks",
+            "found", "pairs_scanned",
+        )
+    ]
+    print(ascii_table(["counter", "value"], rows))
     return 0
 
 
@@ -930,14 +1127,155 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=cmd_serve)
 
     trace = commands.add_parser(
-        "trace", help="run one engine, record its events as JSONL"
+        "trace",
+        help="record an engine's events as JSONL, or replay an "
+        "operation trace",
     )
-    trace.add_argument("--engine", required=True, choices=ENGINE_NAMES)
+    trace.add_argument("--engine", choices=ENGINE_NAMES)
     trace.add_argument(
         "--out", default="trace.jsonl", help="JSONL output path"
     )
     _add_common(trace)
-    trace.set_defaults(func=cmd_trace)
+    trace.set_defaults(func=cmd_trace, trace_command=None)
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    replay = trace_sub.add_parser(
+        "replay",
+        help="replay an operation-trace file against one engine",
+    )
+    replay.add_argument("file", help="trace file (one operation per line)")
+    replay.add_argument("--engine", required=True, choices=ENGINE_NAMES)
+    replay.add_argument(
+        "--scale",
+        type=int,
+        default=2048,
+        help="linear size scale vs the paper's setup (default 2048)",
+    )
+    replay.add_argument(
+        "--preload",
+        action="store_true",
+        help="bulk-load the unique data set before replaying",
+    )
+    replay.add_argument(
+        "--json",
+        action="store_true",
+        help="print the replay counters as JSON",
+    )
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="sharded cluster grid: engines × shard counts × partitioners",
+    )
+    cluster.add_argument(
+        "--engines",
+        default="leveldb,lsbm",
+        help="comma-separated engine names",
+    )
+    cluster.add_argument(
+        "--shards",
+        default="2",
+        help="comma-separated shard counts (default 2)",
+    )
+    cluster.add_argument(
+        "--partitioner",
+        default="hash",
+        help="comma-separated partitioners (hash, range)",
+    )
+    cluster.add_argument(
+        "--rate",
+        default="2000",
+        help="comma-separated cluster-wide offered read rates "
+        "(paper-scale QPS)",
+    )
+    cluster.add_argument(
+        "--write-rate",
+        type=float,
+        default=None,
+        help="cluster-wide offered write rate (default: config write OPS)",
+    )
+    cluster.add_argument(
+        "--policy",
+        default="fifo",
+        help="per-shard scheduling policy (fifo, read-priority, "
+        "weighted-fair)",
+    )
+    cluster.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=("poisson", "bursty"),
+        help="arrival process (default poisson)",
+    )
+    cluster.add_argument(
+        "--queue-bound",
+        type=int,
+        default=64,
+        help="per-shard request-queue depth bound (default 64)",
+    )
+    cluster.add_argument(
+        "--seeds",
+        default="0",
+        help="comma-separated seeds replicated per cell (default 0)",
+    )
+    cluster.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for shard fan-out (default 1)",
+    )
+    cluster.add_argument(
+        "--scale",
+        type=int,
+        default=2048,
+        help="linear size scale vs the paper's setup (default 2048)",
+    )
+    cluster.add_argument(
+        "--duration",
+        type=int,
+        default=2000,
+        help="virtual seconds per run (default 2000)",
+    )
+    cluster.add_argument(
+        "--split-at",
+        type=int,
+        default=None,
+        help="migrate a key range mid-run at this virtual second "
+        "(range partitioner only; forces coordinated execution)",
+    )
+    cluster.add_argument(
+        "--split-source",
+        type=int,
+        default=0,
+        help="shard whose range the split cuts (default 0)",
+    )
+    cluster.add_argument(
+        "--split-target",
+        type=int,
+        default=1,
+        help="shard that adopts the migrated range (default 1)",
+    )
+    cluster.add_argument(
+        "--split-fraction",
+        type=float,
+        default=0.5,
+        help="upper fraction of the source range to migrate (default 0.5)",
+    )
+    cluster.add_argument(
+        "--verify",
+        action="store_true",
+        help="shadow every dispatch with a cluster-wide KV oracle "
+        "(forces coordinated execution)",
+    )
+    cluster.add_argument(
+        "--name", default="cluster", help="payload name (default cluster)"
+    )
+    cluster.add_argument(
+        "--json",
+        action="store_true",
+        help="print the bench-schema payload as JSON",
+    )
+    cluster.add_argument(
+        "--out", help="write the bench-schema payload to this file"
+    )
+    cluster.set_defaults(func=cmd_cluster)
 
     report = commands.add_parser(
         "report",

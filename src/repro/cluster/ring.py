@@ -1,0 +1,178 @@
+"""Keyspace routers: seeded consistent hashing and range partitioning.
+
+A cluster run places every key on exactly one shard.  Two placement
+disciplines are provided:
+
+* :class:`HashRing` — classic consistent hashing with virtual nodes.
+  Each shard contributes ``vnodes`` points on a 64-bit ring, positions
+  derived from a seeded BLAKE2b hash so the layout is a pure function
+  of ``(shard ids, vnodes, seed)``; a key routes to the owner of the
+  first point at or after its own hashed position.  Balanced under any
+  key distribution (including RangeHot's contiguous hot range, which it
+  shatters across shards) and *minimally disruptive*: adding or
+  removing a shard only remaps keys into/out of that shard — the
+  property the hypothesis suite pins.
+* :class:`RangePartitioner` — contiguous key slices, the HBase/Bigtable
+  discipline.  Keeps range locality (scans stay single-shard) at the
+  price of skew under hot ranges — which is exactly the hot-shard
+  regime the cluster benchmark measures — and supports precise
+  *split* operations: :class:`SplitRouter` overlays a migrated
+  sub-range onto any base router.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from collections.abc import Sequence
+
+from repro.errors import ConfigError
+
+#: Default virtual nodes per shard; enough that a 64-bit ring balances
+#: within a few tens of percent for small shard counts.
+DEFAULT_VNODES = 64
+
+PARTITIONERS = ("hash", "range")
+
+
+def _point(text: str) -> int:
+    """A deterministic 64-bit ring position for ``text``."""
+    digest = hashlib.blake2b(text.encode("ascii"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Seeded consistent-hash router over integer shard ids."""
+
+    def __init__(
+        self,
+        shards: int | Sequence[int],
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(shards, int):
+            shard_ids: tuple[int, ...] = tuple(range(shards))
+        else:
+            shard_ids = tuple(shards)
+        if not shard_ids:
+            raise ConfigError("hash ring needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ConfigError(f"duplicate shard ids: {sorted(shard_ids)}")
+        if vnodes < 1:
+            raise ConfigError(f"vnodes must be >= 1, got {vnodes}")
+        self.shard_ids = shard_ids
+        self.vnodes = vnodes
+        self.seed = seed
+        points = sorted(
+            (_point(f"{seed}/shard/{shard}/vnode/{vnode}"), shard)
+            for shard in shard_ids
+            for vnode in range(vnodes)
+        )
+        self._positions = [position for position, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, key: int) -> int:
+        """The shard owning ``key``: first ring point clockwise of it."""
+        position = _point(f"{self.seed}/key/{key}")
+        index = bisect_right(self._positions, position)
+        if index == len(self._positions):
+            index = 0  # Wrap around the ring.
+        return self._owners[index]
+
+    def with_shard_added(self, shard: int) -> "HashRing":
+        """The ring after ``shard`` joins (same seed, same vnodes)."""
+        if shard in self.shard_ids:
+            raise ConfigError(f"shard {shard} already on the ring")
+        return HashRing(self.shard_ids + (shard,), self.vnodes, self.seed)
+
+    def with_shard_removed(self, shard: int) -> "HashRing":
+        """The ring after ``shard`` leaves."""
+        if shard not in self.shard_ids:
+            raise ConfigError(f"shard {shard} not on the ring")
+        remaining = tuple(s for s in self.shard_ids if s != shard)
+        return HashRing(remaining, self.vnodes, self.seed)
+
+
+class RangePartitioner:
+    """Contiguous equal key slices over ``[0, num_keys)``.
+
+    Shard ``i`` owns ``[boundaries[i-1], boundaries[i])`` with implicit
+    outer bounds 0 and ``num_keys``; keys outside the keyspace clamp to
+    the edge shards so stray probe keys still route deterministically.
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        num_shards: int,
+        boundaries: Sequence[int] | None = None,
+    ) -> None:
+        if num_keys < 1:
+            raise ConfigError(f"num_keys must be >= 1, got {num_keys}")
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if num_shards > num_keys:
+            raise ConfigError(
+                f"{num_shards} shards over {num_keys} keys leaves empty shards"
+            )
+        if boundaries is None:
+            boundaries = [
+                round(index * num_keys / num_shards)
+                for index in range(1, num_shards)
+            ]
+        boundaries = list(boundaries)
+        if len(boundaries) != num_shards - 1:
+            raise ConfigError(
+                f"{num_shards} shards need {num_shards - 1} boundaries, "
+                f"got {len(boundaries)}"
+            )
+        previous = 0
+        for boundary in boundaries:
+            if not previous < boundary < num_keys:
+                raise ConfigError(
+                    f"boundaries must be strictly increasing inside "
+                    f"(0, {num_keys}); got {boundaries}"
+                )
+            previous = boundary
+        self.num_keys = num_keys
+        self.num_shards = num_shards
+        self.boundaries = boundaries
+
+    def shard_for(self, key: int) -> int:
+        return bisect_right(self.boundaries, key)
+
+    def shard_range(self, shard: int) -> tuple[int, int]:
+        """The half-open key range ``[low, high)`` shard ``shard`` owns."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigError(
+                f"shard {shard} out of range 0..{self.num_shards - 1}"
+            )
+        low = 0 if shard == 0 else self.boundaries[shard - 1]
+        high = (
+            self.num_keys
+            if shard == self.num_shards - 1
+            else self.boundaries[shard]
+        )
+        return low, high
+
+
+class SplitRouter:
+    """A base router with one migrated sub-range overlaid.
+
+    After a live split, keys in ``[low, high)`` belong to ``target``;
+    everything else routes as before.  Stacking multiple splits is just
+    nesting SplitRouters.
+    """
+
+    def __init__(self, base, low: int, high: int, target: int) -> None:
+        if low >= high:
+            raise ConfigError(f"empty migrated range [{low}, {high})")
+        self.base = base
+        self.low = low
+        self.high = high
+        self.target = target
+
+    def shard_for(self, key: int) -> int:
+        if self.low <= key < self.high:
+            return self.target
+        return self.base.shard_for(key)

@@ -1,0 +1,115 @@
+"""One shard of a cluster run, as a sweep-runnable spec.
+
+A :class:`ShardSpec` is the unit the cluster fan-out hands to the sweep
+runner's process pool: the parent :class:`~repro.cluster.spec.ClusterSpec`
+plus a shard index.  Its payload travels as ``"kind": "cluster-shard"``
+and its result is a plain :class:`~repro.serve.result.ServeResult`, so
+the shard rides the existing lossless RunResult transport unchanged —
+``jobs=1`` and ``jobs=N`` cluster runs are bit-identical for exactly
+the same reason sweeps are.
+
+:func:`execute_shard` runs one shard start to finish (the worker entry
+point); :func:`prepare_shard` exposes the wired-but-unrun session so
+the coordinated in-process path (splits, oracle verification) and the
+differential tests can interleave or observe shard simulators directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec
+from repro.errors import ConfigError
+from repro.serve.result import ServeResult
+from repro.serve.service import (
+    DispatchObserver,
+    ServeSession,
+    finalize_serve,
+    prepare_serve,
+)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of a cluster run."""
+
+    cluster: ClusterSpec
+    shard: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.shard < self.cluster.num_shards:
+            raise ConfigError(
+                f"shard {self.shard} out of range "
+                f"0..{self.cluster.num_shards - 1}"
+            )
+
+    @property
+    def engine(self) -> str:
+        return self.cluster.engine
+
+    @property
+    def seed(self) -> int:
+        return self.cluster.seed
+
+    def cell_key(self) -> str:
+        return f"{self.cluster.cell_key()}/shard{self.shard}"
+
+    def label(self) -> str:
+        return f"{self.cluster.label()}/shard{self.shard}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": "cluster-shard",
+            "cluster": self.cluster.to_dict(),
+            "shard": self.shard,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardSpec":
+        return cls(
+            cluster=ClusterSpec.from_dict(payload["cluster"]),
+            shard=int(payload["shard"]),
+        )
+
+
+def prepare_shard(
+    cluster: ClusterSpec,
+    shard: int,
+    observer: DispatchObserver | None = None,
+) -> ServeSession:
+    """Wire one shard's serve session with its ownership filters.
+
+    Data placement (preload + cache warm) follows the *initial* router;
+    the request filter follows the split-aware request router, so a
+    scheduled split's post-split arrivals already land on the target
+    shard.  With one shard both filters pass everything and the session
+    is exactly the single-engine serve session.
+    """
+    config = cluster.config()
+    initial = cluster.router(config)
+    route = cluster.request_router(config)
+    return prepare_serve(
+        cluster.service_spec(),
+        owned=lambda key: initial.shard_for(key) == shard,
+        keep=lambda request: route(request) == shard,
+        observer=observer,
+    )
+
+
+def execute_shard(spec: ShardSpec) -> ServeResult:
+    """Run one shard start to finish (the sweep-worker entry point).
+
+    Only valid for specs without a split schedule or oracle
+    verification — those need the coordinated in-process path
+    (:func:`repro.cluster.run.run_coordinated`), because a mid-run
+    migration couples the shards.
+    """
+    cluster = spec.cluster
+    if cluster.split_at_s is not None or cluster.verify:
+        raise ConfigError(
+            "split/verify cluster runs are coordinated; "
+            "shards cannot execute independently"
+        )
+    session = prepare_shard(cluster, spec.shard)
+    result = session.simulator.run(session.duration_s)
+    return finalize_serve(session, result)

@@ -327,6 +327,31 @@ class LSMEngine(ABC):
         """
         self.run_compactions()
 
+    def adopt_entries(self, entries: list[Entry]) -> int:
+        """Ingest entries from another engine, keeping their seqs.
+
+        The receiving half of a live shard split: the source shard's
+        newest live versions (from a range scan) enter through the normal
+        write path — WAL first, then memtable — except that each entry
+        keeps the sequence number the *source* assigned it, so values
+        (``value_for(key, seq)``) survive the move byte-for-byte.  The
+        local seq counter is bumped past the adopted maximum so writes
+        dispatched here afterwards always win the merge.  Returns the
+        number of entries adopted.
+        """
+        self._check_open()
+        for entry in entries:
+            if self.wal is not None:
+                self.wal.append(entry.key, entry.seq, entry.kind)
+            if entry.is_tombstone:
+                self.memtable.delete(entry.key, entry.seq)
+            else:
+                self.memtable.put(entry.key, entry.seq)
+            if entry.seq > self._seq:
+                self._seq = entry.seq
+        self._maybe_schedule_compactions()
+        return len(entries)
+
     # ------------------------------------------------------------------
     # Abstract engine-specific behaviour.
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ event                     emitted when
 :class:`ReadSpan`         the span profiler sampled one read's path
 :class:`RequestShed`      the service layer dropped a request (admission)
 :class:`WriteDeferred`    admission control deferred a write with retry-after
+:class:`RangeMigrated`    a cluster split moved a key range between shards
 ========================= ==================================================
 
 The file events form a *ledger*: every ``FileCreated`` must eventually be
@@ -195,6 +196,22 @@ class WriteDeferred:
     retries: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class RangeMigrated:
+    """A live shard split moved the keys ``low <= key < high``.
+
+    Emitted on both shards' buses: ``direction`` is "out" on the source
+    and "in" on the target, ``peer`` the other shard's index, ``entries``
+    the number of live entries handed over.
+    """
+
+    low: int
+    high: int
+    entries: int
+    direction: str
+    peer: int
+
+
 #: Union of every event type, for subscribers that want static typing.
 Event = (
     FlushDone
@@ -209,6 +226,7 @@ Event = (
     | ReadSpan
     | RequestShed
     | WriteDeferred
+    | RangeMigrated
 )
 
 Handler = Callable[[Event], None]

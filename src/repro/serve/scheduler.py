@@ -21,6 +21,7 @@ All three are deterministic: same offer/pop sequence, same decisions.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 
 from repro.config import ConfigError
 from repro.serve.arrivals import ClientClass, Request
@@ -45,8 +46,31 @@ class Scheduler:
         """Next request to dispatch, or None when empty."""
         raise NotImplementedError
 
+    def drain(self, predicate: Callable[[Request], bool]) -> list[Request]:
+        """Remove and return every queued request matching ``predicate``.
+
+        Relative order among both the drained and the surviving requests
+        is preserved — this is the fencing primitive a shard split uses
+        to hand a key range's queued requests to the receiving shard.
+        """
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
+
+
+def _split_queue(
+    queue: deque[Request], predicate: Callable[[Request], bool]
+) -> list[Request]:
+    """Drain one deque in place; returns the matching requests in order."""
+    drained: list[Request] = []
+    kept: list[Request] = []
+    for request in queue:
+        (drained if predicate(request) else kept).append(request)
+    if drained:
+        queue.clear()
+        queue.extend(kept)
+    return drained
 
 
 class FIFOScheduler(Scheduler):
@@ -64,6 +88,9 @@ class FIFOScheduler(Scheduler):
 
     def pop(self) -> Request | None:
         return self._queue.popleft() if self._queue else None
+
+    def drain(self, predicate: Callable[[Request], bool]) -> list[Request]:
+        return _split_queue(self._queue, predicate)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -89,6 +116,12 @@ class ReadPriorityScheduler(Scheduler):
         if self._writes:
             return self._writes.popleft()
         return None
+
+    def drain(self, predicate: Callable[[Request], bool]) -> list[Request]:
+        # Reads first to mirror pop's dispatch preference.
+        drained = _split_queue(self._reads, predicate)
+        drained.extend(_split_queue(self._writes, predicate))
+        return drained
 
     def __len__(self) -> int:
         return len(self._reads) + len(self._writes)
@@ -140,6 +173,13 @@ class WeightedFairScheduler(Scheduler):
                 self._depth -= 1
                 return queue.popleft()
         return None  # Unreachable while _depth is kept consistent.
+
+    def drain(self, predicate: Callable[[Request], bool]) -> list[Request]:
+        drained: list[Request] = []
+        for queue in self._queues.values():
+            drained.extend(_split_queue(queue, predicate))
+        self._depth -= len(drained)
+        return drained
 
     def __len__(self) -> int:
         return self._depth

@@ -17,17 +17,33 @@ deferral counters that reconcile with the ``RequestShed`` /
 ``WriteDeferred`` events on the bus, and a sampled set of raw requests
 whose ``queue_delay_s + service_s == total_s`` by construction.
 
+The loop is *steppable*: :meth:`ServiceSimulator.begin` /
+:meth:`~ServiceSimulator.step` / :meth:`~ServiceSimulator.finish`
+expose one-tick granularity so the cluster tier can interleave several
+shard simulators on one virtual timeline (and migrate key ranges
+between them mid-run); :meth:`~ServiceSimulator.run` is the
+begin/step×N/finish composition every single-engine path uses.
+
 :func:`execute_serve` is the spec-to-result entry point the sweep
-workers call, mirroring :func:`repro.sim.experiment.execute`.
+workers call, mirroring :func:`repro.sim.experiment.execute`.  It is
+itself a composition of :func:`prepare_serve` (build the stack, filter
+preload/arrivals for shard ownership) and :func:`finalize_serve`
+(stamp spec metadata on the result) so a cluster shard can run the
+*identical* pipeline with ownership filters injected — an all-pass
+filter reproduces the single-engine run bit for bit, which is what the
+1-shard differential test pins.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Protocol
 
 from repro.cache.stats import CacheStats
 from repro.config import SystemConfig
+from repro.errors import EngineError
 from repro.obs.events import EventTally, RequestShed, WriteDeferred
 from repro.obs.prof import NULL_PROFILER, SpanProfiler
 from repro.serve.admission import ADMIT, DEFER, AdmissionController, AdmissionPolicy
@@ -36,7 +52,7 @@ from repro.serve.result import ClassStats, ServeResult
 from repro.serve.scheduler import Scheduler, make_scheduler
 from repro.serve.spec import ServiceSpec
 from repro.sim.kernel import ReadPricer
-from repro.sim.metrics import TimeSeries
+from repro.sstable.entry import Entry
 from repro.storage.iomodel import IOCostModel
 from repro.workload.ycsb import RangeHotWorkload
 
@@ -45,6 +61,21 @@ _MAX_DISPATCH_PER_TICK = 50_000
 
 #: Cap on retained per-request decomposition samples.
 _MAX_REQUEST_SAMPLES = 2_000
+
+
+class DispatchObserver(Protocol):
+    """Callbacks fired as the simulator dispatches requests.
+
+    The cluster tier's oracle verification hangs off these: every write
+    reports the sequence number the engine assigned, every point read
+    reports the engine's answer, so an external model (the
+    :class:`~repro.check.oracle.KVOracle`) can shadow the run without
+    touching the dispatch arithmetic.
+    """
+
+    def on_write(self, request: Request, seq: int) -> None: ...
+
+    def on_read(self, request: Request, got) -> None: ...
 
 
 class ServiceSimulator:
@@ -60,6 +91,7 @@ class ServiceSimulator:
         admission: AdmissionController,
         profiler: SpanProfiler | None = None,
         request_sample_every: int = 17,
+        observer: DispatchObserver | None = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -71,6 +103,7 @@ class ServiceSimulator:
         self.pricer = ReadPricer(config, self.cost_model)
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.request_sample_every = max(1, request_sample_every)
+        self.observer = observer
         self.metric_cache = engine.metric_cache
         self.event_tally = EventTally(engine.bus)
         #: Deferred writes waiting to re-offer: (retry_at_s, seq, request).
@@ -83,53 +116,87 @@ class ServiceSimulator:
         self._last_cache_stats: CacheStats | None = None
         self._last_hit_sample_tick: int | None = None
         self.hit_ratio_window_s = 20
+        # Per-run loop state, created by begin().
+        self._result: ServeResult | None = None
+        self._sample_every = 1
+        self._start_tick = 0
+        self._events_before: dict[str, int] = {}
+        self._stall_baseline = 0.0
+        self._stall_last = 0.0
+        self._bw_baseline: dict[str, dict[str, float]] = {}
+        self._arrived_window = 0
+        self._last_sample_tick = 0
 
     # ------------------------------------------------------------------
-    # The run loop.
+    # The run loop: begin / step×duration / finish.
     # ------------------------------------------------------------------
-    def run(self, duration_s: int, sample_every: int = 1) -> ServeResult:
+    def begin(self, duration_s: int, sample_every: int = 1) -> ServeResult:
+        """Open a run: allocate the result, snapshot the baselines."""
         result = ServeResult(engine=self.engine.name, duration_s=duration_s)
         for klass_name, op in self._class_ops():
             result.class_stats[klass_name] = ClassStats(op=op)
-        events_before = dict(self.event_tally.counts)
-        stall_baseline = self.engine.stats.stall_seconds
-        stall_last = stall_baseline
-        bw_baseline = self._snapshot_cause_totals()
-        arrived_window = 0
-        last_sample_tick = 0
+        self._events_before = dict(self.event_tally.counts)
+        self._stall_baseline = self.engine.stats.stall_seconds
+        self._stall_last = self._stall_baseline
+        self._bw_baseline = self._snapshot_cause_totals()
+        self._arrived_window = 0
+        self._last_sample_tick = 0
         # Arrival timestamps are relative to the run's first tick; the
         # engine keeps its own absolute clock (it may have ticked before).
-        start_tick = self.clock.now
-        for _ in range(duration_s):
-            now = self.clock.now - start_tick
-            arrived_window += self._ingest(now, result)
-            self.engine.tick(self.clock.now)
-            utilization = self.engine.disk.utilization()
-            reads = self._dispatch(now, utilization, result)
-            stall_total = self.engine.stats.stall_seconds
-            stall_tick = stall_total - stall_last
-            stall_last = stall_total
-            self._stall_window.append((now, stall_tick))
-            cutoff = now - self.admission.policy.stall_window_s
-            while self._stall_window and self._stall_window[0][0] <= cutoff:
-                self._stall_window.popleft()
-            if now % sample_every == 0:
-                dt = max(1, now - last_sample_tick) if now else 1
-                self._sample(
-                    now, reads, utilization, stall_tick, arrived_window / dt,
-                    result,
-                )
-                arrived_window = 0
-                last_sample_tick = now
-            self.clock.advance(1)
-        result.event_counts = {
-            name: count - events_before.get(name, 0)
-            for name, count in self.event_tally.counts.items()
-            if count - events_before.get(name, 0)
-        }
-        result.bandwidth_kb_by_cause = self._cause_window(bw_baseline)
-        result.stall_seconds = self.engine.stats.stall_seconds - stall_baseline
+        self._start_tick = self.clock.now
+        self._sample_every = sample_every
+        self._result = result
         return result
+
+    def step(self) -> None:
+        """Advance the run by one virtual second."""
+        result = self._result
+        if result is None:
+            raise EngineError("step() before begin()")
+        now = self.clock.now - self._start_tick
+        self._arrived_window += self._ingest(now, result)
+        self.engine.tick(self.clock.now)
+        utilization = self.engine.disk.utilization()
+        reads = self._dispatch(now, utilization, result)
+        stall_total = self.engine.stats.stall_seconds
+        stall_tick = stall_total - self._stall_last
+        self._stall_last = stall_total
+        self._stall_window.append((now, stall_tick))
+        cutoff = now - self.admission.policy.stall_window_s
+        while self._stall_window and self._stall_window[0][0] <= cutoff:
+            self._stall_window.popleft()
+        if now % self._sample_every == 0:
+            dt = max(1, now - self._last_sample_tick) if now else 1
+            self._sample(
+                now, reads, utilization, stall_tick,
+                self._arrived_window / dt, result,
+            )
+            self._arrived_window = 0
+            self._last_sample_tick = now
+        self.clock.advance(1)
+
+    def finish(self) -> ServeResult:
+        """Close the run: event/bandwidth/stall windows onto the result."""
+        result = self._result
+        if result is None:
+            raise EngineError("finish() before begin()")
+        result.event_counts = {
+            name: count - self._events_before.get(name, 0)
+            for name, count in self.event_tally.counts.items()
+            if count - self._events_before.get(name, 0)
+        }
+        result.bandwidth_kb_by_cause = self._cause_window(self._bw_baseline)
+        result.stall_seconds = (
+            self.engine.stats.stall_seconds - self._stall_baseline
+        )
+        self._result = None
+        return result
+
+    def run(self, duration_s: int, sample_every: int = 1) -> ServeResult:
+        self.begin(duration_s, sample_every)
+        for _ in range(duration_s):
+            self.step()
+        return self.finish()
 
     def _class_ops(self) -> list[tuple[str, str]]:
         seen: dict[str, str] = {}
@@ -137,6 +204,72 @@ class ServiceSimulator:
             if request.klass not in seen:
                 seen[request.klass] = request.op
         return list(seen.items())
+
+    # ------------------------------------------------------------------
+    # Migration fencing (used by the cluster tier's shard split).
+    # ------------------------------------------------------------------
+    def extract_pending(
+        self, predicate: Callable[[int], bool]
+    ) -> tuple[list[Request], list[tuple[float, int, Request]]]:
+        """Remove every pending request whose key matches ``predicate``.
+
+        Returns ``(queued, retries)``: the scheduler-queued requests in
+        dispatch order and the deferred-write retry entries (heap items,
+        untouched so their retry times survive the move).  After this
+        call the shard will never dispatch a request for the drained
+        keys — the fence a split needs before handing the range over.
+        """
+        queued = self.scheduler.drain(
+            lambda request: predicate(request.key)
+        )
+        retries = [
+            item for item in self._retry_heap if predicate(item[2].key)
+        ]
+        if retries:
+            self._retry_heap = [
+                item for item in self._retry_heap if not predicate(item[2].key)
+            ]
+            heapq.heapify(self._retry_heap)
+        return queued, retries
+
+    def adopt_pending(
+        self,
+        queued: list[Request],
+        retries: list[tuple[float, int, Request]],
+    ) -> int:
+        """Take over requests fenced out of another shard.
+
+        Queued requests re-offer into this shard's scheduler in their
+        original dispatch order (overflow sheds, attributed on the bus);
+        deferred writes keep their retry clocks.  Returns how many
+        queued requests were admitted.
+        """
+        result = self._result
+        if result is None:
+            raise EngineError("adopt_pending() before begin()")
+        adopted = 0
+        for request in queued:
+            stats = result.class_stats.setdefault(
+                request.klass, ClassStats(op=request.op)
+            )
+            if self.scheduler.offer(request):
+                adopted += 1
+                depth = len(self.scheduler)
+                if depth > result.max_queue_depth:
+                    result.max_queue_depth = depth
+                continue
+            stats.shed += 1
+            self.engine.bus.emit(
+                RequestShed(
+                    klass=request.klass,
+                    op=request.op,
+                    reason="migration-overflow",
+                    retries=request.retries,
+                )
+            )
+        for item in retries:
+            heapq.heappush(self._retry_heap, item)
+        return adopted
 
     # ------------------------------------------------------------------
     # Ingestion: arrivals + due retries through admission control.
@@ -246,7 +379,9 @@ class ServiceSimulator:
             start_s = now + min(1.0, max(0.0, spent / threads))
             if request.op == "write":
                 stall_before = self.engine.stats.stall_seconds
-                self.engine.put(request.key)
+                seq = self.engine.put(request.key)
+                if self.observer is not None:
+                    self.observer.on_write(request, seq)
                 stall_s = self.engine.stats.stall_seconds - stall_before
                 # One simulated write stands for ops_scale real writes'
                 # worth of ingestion; a stall blocks the write path once.
@@ -259,6 +394,8 @@ class ServiceSimulator:
                     cost, pairs = scan.cost, len(scan.entries)
                 else:
                     got = self.engine.get(request.key)
+                    if self.observer is not None:
+                        self.observer.on_read(request, got)
                     cost, pairs = got.cost, 0
                 is_scan = request.op == "scan"
                 priced = self.pricer.price(cost, pairs, utilization, is_scan)
@@ -367,29 +504,57 @@ class ServiceSimulator:
         return window
 
 
-def execute_serve(spec: ServiceSpec) -> ServeResult:
-    """Materialize one :class:`ServiceSpec` into its measured result.
+@dataclass
+class ServeSession:
+    """A fully wired serve run, prepared but not yet driven."""
 
-    The serve counterpart of :func:`repro.sim.experiment.execute`: build
-    the engine stack, preload the unique data set, generate the arrival
-    stream, then run the service loop.  The result carries the substrate
-    registry's closing snapshot like every other run.
+    spec: ServiceSpec
+    setup: object  # repro.sim.experiment.ExperimentSetup
+    simulator: ServiceSimulator
+    duration_s: int
+
+
+def prepare_serve(
+    spec: ServiceSpec,
+    owned: Callable[[int], bool] | None = None,
+    keep: Callable[[Request], bool] | None = None,
+    observer: DispatchObserver | None = None,
+) -> ServeSession:
+    """Build the engine stack and arrival stream for one serve run.
+
+    ``owned`` filters *data placement*: which preloaded keys (and which
+    warm-cache touches) belong to this engine.  ``keep`` filters the
+    arrival stream: which requests this engine serves.  Both default to
+    all-pass, in which case the session is exactly the single-engine
+    run — the cluster tier passes shard-ownership predicates instead,
+    and crucially the arrival stream is *generated whole and then
+    filtered*, so request seqs, timestamps and key choices are identical
+    across every shard count (a request routes somewhere, never
+    changes).
     """
-    from repro.sim.experiment import build_engine, preload
+    from repro.sim.experiment import build_engine
 
     config = spec.config()
     setup = build_engine(spec.engine, config)
     if spec.do_preload:
-        preload(setup)
+        entries = [
+            Entry(key, 0)
+            for key in range(config.unique_keys)
+            if owned is None or owned(key)
+        ]
+        setup.engine.bulk_load(entries)
     workload = RangeHotWorkload(config)
     if spec.warm_cache:
         # One unaccounted pass over the hot range: serving starts from
         # the steady state the closed-loop figures reach after warm-up.
         for key in range(workload.hot_start, workload.hot_start + workload.hot_size):
-            setup.engine.get(key)
+            if owned is None or owned(key):
+                setup.engine.get(key)
     classes = spec.client_classes(config)
     duration = spec.duration_s if spec.duration_s is not None else config.duration_s
     arrivals = generate_arrivals(classes, config, workload, duration, spec.seed)
+    if keep is not None:
+        arrivals = [request for request in arrivals if keep(request)]
     scheduler = make_scheduler(spec.policy, spec.queue_bound, classes)
     admission = AdmissionController(
         AdmissionPolicy(
@@ -415,8 +580,17 @@ def execute_serve(spec: ServiceSpec) -> ServeResult:
         admission,
         profiler=profiler,
         request_sample_every=spec.request_sample_every,
+        observer=observer,
     )
-    result = simulator.run(duration)
+    return ServeSession(
+        spec=spec, setup=setup, simulator=simulator, duration_s=duration
+    )
+
+
+def finalize_serve(session: ServeSession, result: ServeResult) -> ServeResult:
+    """Stamp spec metadata and the closing registry snapshot on a result."""
+    spec = session.spec
+    config = session.simulator.config
     result.policy = spec.policy
     result.arrival = spec.arrival
     result.offered_read_qps = spec.read_rate_qps
@@ -425,5 +599,18 @@ def execute_serve(spec: ServiceSpec) -> ServeResult:
         f"serve; policy={spec.policy}; arrival={spec.arrival}; "
         f"rate={spec.read_rate_qps:g}qps"
     )
-    result.metrics = setup.substrate.registry.snapshot()
+    result.metrics = session.setup.substrate.registry.snapshot()
     return result
+
+
+def execute_serve(spec: ServiceSpec) -> ServeResult:
+    """Materialize one :class:`ServiceSpec` into its measured result.
+
+    The serve counterpart of :func:`repro.sim.experiment.execute`: build
+    the engine stack, preload the unique data set, generate the arrival
+    stream, then run the service loop.  The result carries the substrate
+    registry's closing snapshot like every other run.
+    """
+    session = prepare_serve(spec)
+    result = session.simulator.run(session.duration_s)
+    return finalize_serve(session, result)

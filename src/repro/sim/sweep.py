@@ -40,7 +40,9 @@ from repro.sim.spec import ExperimentSpec
 #: validator lives there; src must not import the benchmarks package).
 #: Version 2: run entries grew a required ``stall_seconds`` field and
 #: serve cells may appear (tagged ``"kind": "serve"``).
-SWEEP_SCHEMA_VERSION = 2
+#: Version 3: cluster run entries (tagged ``"kind": "cluster"``, from
+#: ``repro cluster``) and cluster-shard spec payloads in the pool.
+SWEEP_SCHEMA_VERSION = 3
 
 #: Headline metrics aggregated per cell: name -> extractor.
 SUMMARY_METRICS = {
@@ -111,6 +113,10 @@ def _execute_payload(payload: dict) -> dict:
         from repro.serve.spec import ServiceSpec
 
         result = execute_serve(ServiceSpec.from_dict(payload))
+    elif payload.get("kind") == "cluster-shard":
+        from repro.cluster.shard import ShardSpec, execute_shard
+
+        result = execute_shard(ShardSpec.from_dict(payload))
     else:
         result = execute(ExperimentSpec.from_dict(payload))
     wall_clock_s = time.perf_counter() - started

@@ -10,12 +10,19 @@ priced through the same cost model, with the same per-second metrics.
 This is what turns the reproduction into a general LSM workbench: YCSB
 core workloads A-F run against any engine with three lines of code (see
 ``examples/ycsb_workloads.py`` for the lighter inline variant).
+
+Pass an ``oracle`` (:class:`~repro.check.oracle.KVOracle`, preseeded
+with whatever the engine was preloaded with) and the driver shadows
+every operation: writes/deletes are recorded, every read, scan and
+read-modify-write is checked against the oracle's expected values, and
+mismatches are counted — so a YCSB run doubles as a differential test.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro.check.oracle import KVOracle
 from repro.config import SystemConfig
 from repro.clock import VirtualClock
 from repro.sim.driver import MixedReadWriteDriver
@@ -37,6 +44,7 @@ class YCSBDriver:
         workload: YCSBWorkload,
         seed: int = 0,
         client_threads: int | None = None,
+        oracle: KVOracle | None = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -50,6 +58,32 @@ class YCSBDriver:
         self._pricer = MixedReadWriteDriver(engine, config, clock, seed=seed)
         self._debt = 0.0
         self.ops_by_kind: dict[OpKind, int] = {kind: 0 for kind in OpKind}
+        self.oracle = oracle
+        self.reads_verified = 0
+        self.read_mismatches = 0
+        self.scans_verified = 0
+        self.scan_mismatches = 0
+
+    # ------------------------------------------------------------------
+    # Oracle shadowing.
+    # ------------------------------------------------------------------
+    def _check_get(self, key: int, got) -> None:
+        if self.oracle is None:
+            return
+        expect_found, expect_value = self.oracle.get(key)
+        self.reads_verified += 1
+        if got.found != expect_found or (
+            expect_found and got.value != expect_value
+        ):
+            self.read_mismatches += 1
+
+    def _check_scan(self, low: int, high: int, scan) -> None:
+        if self.oracle is None:
+            return
+        self.scans_verified += 1
+        got = [(entry.key, entry.value()) for entry in scan.entries]
+        if got != self.oracle.scan(low, high):
+            self.scan_mismatches += 1
 
     # ------------------------------------------------------------------
     # Operation execution with pricing.
@@ -60,19 +94,32 @@ class YCSBDriver:
         self.ops_by_kind[op.kind] += 1
         write_price = self.config.cache_hit_s * self.config.ops_scale
         if op.kind in (OpKind.UPDATE, OpKind.INSERT):
-            self.engine.put(op.key)
+            seq = self.engine.put(op.key)
+            if self.oracle is not None:
+                self.oracle.put(op.key, seq)
+            return write_price
+        if op.kind == OpKind.DELETE:
+            self.engine.delete(op.key)
+            if self.oracle is not None:
+                self.oracle.delete(op.key)
             return write_price
         if op.kind == OpKind.READ:
             result = self.engine.get(op.key)
+            self._check_get(op.key, result)
             return self._pricer.price_read(result.cost, 0, utilization)
         if op.kind == OpKind.SCAN:
-            scan = self.engine.scan(op.key, op.key + max(1, op.scan_length) - 1)
+            high = op.key + max(1, op.scan_length) - 1
+            scan = self.engine.scan(op.key, high)
+            self._check_scan(op.key, high, scan)
             return self._pricer.price_read(
                 scan.cost, len(scan.entries), utilization, is_scan=True
             )
         # Read-modify-write: a read plus a write.
         result = self.engine.get(op.key)
-        self.engine.put(op.key)
+        self._check_get(op.key, result)
+        seq = self.engine.put(op.key)
+        if self.oracle is not None:
+            self.oracle.put(op.key, seq)
         return (
             self._pricer.price_read(result.cost, 0, utilization) + write_price
         )

@@ -101,6 +101,12 @@ class KVCachedBLSM:
     def bulk_load(self, entries: list[Entry]) -> None:
         self.engine.bulk_load(entries)
 
+    def adopt_entries(self, entries: list[Entry]) -> int:
+        # Row-cached values for adopted keys would be stale: drop them.
+        for entry in entries:
+            self.kv_cache.invalidate(entry.key)
+        return self.engine.adopt_entries(entries)
+
     def run_compactions(self) -> None:
         self.engine.run_compactions()
 

@@ -47,6 +47,8 @@ def parse_line(line: str) -> TraceOp | None:
     parts = body.split()
     op = parts[0].lower()
     if op == "tick":
+        if len(parts) != 1:
+            raise WorkloadError(f"malformed trace line: {line!r}")
         return TraceOp("tick")
     if op in ("put", "get", "del"):
         if len(parts) != 2:

@@ -37,6 +37,7 @@ class OpKind(Enum):
     INSERT = "insert"
     SCAN = "scan"
     READ_MODIFY_WRITE = "rmw"
+    DELETE = "delete"
 
 
 @dataclass(frozen=True)
@@ -106,6 +107,7 @@ class YCSBWorkload:
         insert_proportion: float = 0.0,
         scan_proportion: float = 0.0,
         rmw_proportion: float = 0.0,
+        delete_proportion: float = 0.0,
         request_distribution: str = "zipfian",
         max_scan_length: int = 100,
     ) -> None:
@@ -115,6 +117,7 @@ class YCSBWorkload:
             + insert_proportion
             + scan_proportion
             + rmw_proportion
+            + delete_proportion
         )
         if abs(total - 1.0) > 1e-9:
             raise WorkloadError(f"operation proportions sum to {total}, not 1")
@@ -126,6 +129,8 @@ class YCSBWorkload:
             read_proportion + update_proportion + insert_proportion,
             read_proportion + update_proportion + insert_proportion
             + scan_proportion,
+            read_proportion + update_proportion + insert_proportion
+            + scan_proportion + rmw_proportion,
         ]
         self._chooser = self._make_chooser(request_distribution, num_keys)
         self._scan_lengths = ExponentialSizeChooser(
@@ -161,7 +166,9 @@ class YCSBWorkload:
             return Operation(
                 OpKind.SCAN, key, self._scan_lengths.next_length(rng)
             )
-        return Operation(OpKind.READ_MODIFY_WRITE, key)
+        if roll < self._thresholds[4]:
+            return Operation(OpKind.READ_MODIFY_WRITE, key)
+        return Operation(OpKind.DELETE, key)
 
 
 def ycsb_core_workload(name: str, num_keys: int) -> YCSBWorkload:

@@ -473,3 +473,150 @@ class TestCompareCommand:
 
     def test_compare_rejects_unknown(self, capsys):
         assert main(["compare", "--engines", "blsm,bogus"]) == 2
+
+
+class TestTraceReplayCommand:
+    def test_replay_round_trips_a_saved_trace(self, tmp_path, capsys):
+        from repro.workload.trace import TraceRecorder, save_trace
+
+        recorder = TraceRecorder()
+        recorder.put(5)
+        recorder.get(5)
+        recorder.delete(5)
+        recorder.get(5)
+        recorder.scan(0, 10)
+        recorder.tick()
+        path = tmp_path / "ops.trace"
+        save_trace(recorder.ops, path)
+
+        code = main(
+            [
+                "trace", "replay", str(path),
+                "--engine", "lsbm", "--scale", "8192", "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["engine"] == "lsbm"
+        assert summary["ops"] == 6
+        assert summary["puts"] == 1
+        assert summary["gets"] == 2
+        assert summary["found"] == 1  # The read before the delete.
+        assert summary["deletes"] == 1
+        assert summary["scans"] == 1
+        assert summary["ticks"] == 1
+
+    def test_replay_with_preload_finds_preloaded_keys(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "ops.trace"
+        path.write_text("get 0\nget 1\n")
+        code = main(
+            [
+                "trace", "replay", str(path),
+                "--engine", "leveldb", "--scale", "8192",
+                "--preload", "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["found"] == 2
+
+    def test_replay_rejects_malformed_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.trace"
+        path.write_text("put 1\ntick tock\n")
+        assert main(
+            ["trace", "replay", str(path), "--engine", "lsbm"]
+        ) == 2
+
+    def test_replay_rejects_missing_file(self, tmp_path):
+        assert main(
+            [
+                "trace", "replay", str(tmp_path / "absent.trace"),
+                "--engine", "lsbm",
+            ]
+        ) == 2
+
+    def test_bare_trace_still_requires_engine(self, capsys):
+        assert main(["trace"]) == 2
+        assert "--engine" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    def test_cluster_json_payload_validates(self, capsys):
+        from benchmarks.common import validate_bench
+
+        code = main(
+            [
+                "cluster",
+                "--engines", "lsbm",
+                "--shards", "2",
+                "--partitioner", "hash",
+                "--rate", "30000",
+                "--scale", "8192",
+                "--duration", "200",
+                "--jobs", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_bench(payload)
+        (run,) = payload["runs"].values()
+        assert run["kind"] == "cluster"
+        assert run["num_shards"] == 2
+        assert set(run["per_shard"]) == {"0", "1"}
+
+    def test_cluster_table_lists_per_shard_rows(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--engines", "lsbm",
+                "--shards", "2",
+                "--partitioner", "range",
+                "--rate", "30000",
+                "--scale", "8192",
+                "--duration", "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "imbalance" in out and "hottest" in out
+        assert "shard" in out
+
+    def test_cluster_split_verify_run(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--engines", "lsbm",
+                "--shards", "2",
+                "--partitioner", "range",
+                "--rate", "30000",
+                "--scale", "8192",
+                "--duration", "400",
+                "--split-at", "200",
+                "--verify",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (run,) = payload["runs"].values()
+        assert run["migration"]["at_s"] == 200
+        assert run["verify"]["read_mismatches"] == 0
+
+    def test_cluster_rejects_bad_inputs(self, capsys):
+        assert main(["cluster", "--engines", "bogus"]) == 2
+        assert main(
+            ["cluster", "--engines", "lsbm", "--partitioner", "modulo"]
+        ) == 2
+        assert main(
+            ["cluster", "--engines", "lsbm", "--policy", "lifo"]
+        ) == 2
+        # A split on the hash partitioner is a spec-level ConfigError.
+        assert main(
+            [
+                "cluster", "--engines", "lsbm", "--partitioner", "hash",
+                "--split-at", "100",
+            ]
+        ) == 2

@@ -1,0 +1,159 @@
+"""Property tests for the cluster routers (hash ring, range partitioner).
+
+The hash ring's two load-bearing promises get hypothesis coverage:
+
+* **balance** — with enough vnodes, no shard owns wildly more or less
+  than its fair share of a key range (empirically the worst case over
+  many seeds is ~1.43x / ~0.68x of fair at 64 vnodes; the bounds here
+  leave margin);
+* **minimal movement** — adding or removing a shard only remaps keys
+  to/from that shard; every other key keeps its owner.  This is *the*
+  consistent-hashing property: a topology change migrates one shard's
+  worth of data, not the whole keyspace.
+
+The range partitioner and the split-overlay router are deterministic
+arithmetic, so they get exact-value tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing, RangePartitioner, SplitRouter
+from repro.errors import ConfigError
+
+_SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+_SHARDS = st.integers(min_value=2, max_value=8)
+
+#: Keys probed per property example.  Large enough that a grossly
+#: unbalanced ring cannot hide, small enough to keep examples fast.
+_PROBE_KEYS = 2048
+
+
+class TestHashRingBalance:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=_SEEDS, shards=_SHARDS)
+    def test_distribution_within_tolerance(self, seed, shards):
+        ring = HashRing(shards, vnodes=64, seed=seed)
+        counts = {shard: 0 for shard in ring.shard_ids}
+        for key in range(_PROBE_KEYS):
+            counts[ring.shard_for(key)] += 1
+        fair = _PROBE_KEYS / shards
+        assert max(counts.values()) <= 2.0 * fair
+        assert min(counts.values()) >= 0.33 * fair
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=_SEEDS, shards=_SHARDS)
+    def test_every_shard_owns_something(self, seed, shards):
+        ring = HashRing(shards, vnodes=64, seed=seed)
+        owners = {ring.shard_for(key) for key in range(_PROBE_KEYS)}
+        assert owners == set(ring.shard_ids)
+
+    def test_routing_is_deterministic_per_seed(self):
+        a = HashRing(4, vnodes=64, seed=7)
+        b = HashRing(4, vnodes=64, seed=7)
+        c = HashRing(4, vnodes=64, seed=8)
+        keys = range(512)
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+        assert [a.shard_for(k) for k in keys] != [c.shard_for(k) for k in keys]
+
+
+class TestHashRingMinimalMovement:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=_SEEDS, shards=_SHARDS)
+    def test_adding_a_shard_only_moves_keys_to_it(self, seed, shards):
+        ring = HashRing(shards, vnodes=64, seed=seed)
+        grown = ring.with_shard_added(shards)
+        moved = 0
+        for key in range(_PROBE_KEYS):
+            before, after = ring.shard_for(key), grown.shard_for(key)
+            if before != after:
+                # The only legal move is onto the new shard.
+                assert after == shards
+                moved += 1
+        # The new shard takes roughly its fair share, never the world.
+        assert 0 < moved <= 2.0 * _PROBE_KEYS / (shards + 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=_SEEDS, shards=_SHARDS)
+    def test_removing_a_shard_only_moves_its_keys(self, seed, shards):
+        ring = HashRing(shards, vnodes=64, seed=seed)
+        victim = shards - 1
+        shrunk = ring.with_shard_removed(victim)
+        for key in range(_PROBE_KEYS):
+            before, after = ring.shard_for(key), shrunk.shard_for(key)
+            if before == victim:
+                assert after != victim
+            else:
+                # Keys the victim never owned must not move at all.
+                assert after == before
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=_SEEDS, shards=_SHARDS)
+    def test_add_then_remove_is_identity(self, seed, shards):
+        ring = HashRing(shards, vnodes=64, seed=seed)
+        round_trip = ring.with_shard_added(shards).with_shard_removed(shards)
+        for key in range(0, _PROBE_KEYS, 7):
+            assert round_trip.shard_for(key) == ring.shard_for(key)
+
+
+class TestRangePartitioner:
+    def test_equal_slices_cover_the_keyspace(self):
+        part = RangePartitioner(2560, 4)
+        assert [part.shard_range(i) for i in range(4)] == [
+            (0, 640), (640, 1280), (1280, 1920), (1920, 2560)
+        ]
+        for key in range(2560):
+            low, high = part.shard_range(part.shard_for(key))
+            assert low <= key < high
+
+    def test_boundary_keys_belong_to_the_upper_shard(self):
+        part = RangePartitioner(100, 2)
+        assert part.shard_for(49) == 0
+        assert part.shard_for(50) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_keys=st.integers(min_value=8, max_value=10_000),
+        shards=st.integers(min_value=1, max_value=8),
+    )
+    def test_partition_is_total_and_contiguous(self, num_keys, shards):
+        part = RangePartitioner(num_keys, shards)
+        previous = -1
+        for shard in range(shards):
+            low, high = part.shard_range(shard)
+            assert low == previous + 1 or low == previous  # empty slice ok
+            assert low <= high
+            previous = high - 1
+        assert part.shard_range(shards - 1)[1] == num_keys
+
+    def test_custom_boundaries(self):
+        part = RangePartitioner(100, 3, boundaries=[10, 90])
+        assert part.shard_for(9) == 0
+        assert part.shard_for(10) == 1
+        assert part.shard_for(89) == 1
+        assert part.shard_for(90) == 2
+
+    def test_bad_boundaries_rejected(self):
+        with pytest.raises(ConfigError):
+            RangePartitioner(100, 3, boundaries=[50, 40])
+        with pytest.raises(ConfigError):
+            RangePartitioner(100, 3, boundaries=[0, 50])
+        with pytest.raises(ConfigError):
+            RangePartitioner(100, 2, boundaries=[100])
+
+
+class TestSplitRouter:
+    def test_overlay_redirects_only_the_migrated_range(self):
+        base = RangePartitioner(100, 2)
+        router = SplitRouter(base, 30, 50, target=1)
+        for key in range(100):
+            expected = 1 if 30 <= key < 50 else base.shard_for(key)
+            assert router.shard_for(key) == expected
+
+    def test_empty_range_rejected(self):
+        base = RangePartitioner(100, 2)
+        with pytest.raises(ConfigError):
+            SplitRouter(base, 50, 50, target=1)

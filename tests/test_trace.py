@@ -32,11 +32,44 @@ class TestParsing:
         assert parse_line("PUT 5") == TraceOp("put", 5)
 
     @pytest.mark.parametrize(
-        "bad", ["put", "scan 5", "frobnicate 1", "put x"]
+        "bad",
+        [
+            "put", "scan 5", "frobnicate 1", "put x",
+            "tick 5", "tick now", "put 1 2", "del 3 4",
+            "scan 1 2 3", "scan a b", "get",
+        ],
     )
     def test_malformed_rejected(self, bad):
         with pytest.raises((WorkloadError, ValueError)):
             parse_line(bad)
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            TraceOp("put", 0),
+            TraceOp("get", 0),
+            TraceOp("del", 0),
+            TraceOp("put", 10**12),
+            TraceOp("scan", 0, 0),
+            TraceOp("scan", 0, 1),
+            TraceOp("scan", 10**9, 10**6),
+            TraceOp("tick"),
+        ],
+    )
+    def test_line_round_trip_on_boundary_ops(self, op):
+        """``parse_line`` inverts ``to_line`` exactly, including key 0,
+        huge keys, and degenerate scan lengths."""
+        assert parse_line(op.to_line()) == op
+
+    def test_round_trip_survives_decoration(self):
+        op = TraceOp("scan", 42, 7)
+        assert parse_line(f"  {op.to_line()}   # note") == op
+
+    def test_tick_rejects_trailing_tokens(self):
+        """A trailing token on ``tick`` is a malformed line, not a
+        silently ignored one — replays must not misread op streams."""
+        with pytest.raises(WorkloadError):
+            parse_line("tick tock")
 
 
 class TestRoundTrip:

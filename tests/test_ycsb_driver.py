@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.check.oracle import KVOracle
 from repro.config import SystemConfig
+from repro.errors import WorkloadError
 from repro.sim.experiment import build_engine, preload
 from repro.sim.ycsb_driver import YCSBDriver
 from repro.workload.ycsb import OpKind, YCSBWorkload, ycsb_core_workload
@@ -18,6 +20,27 @@ def make_driver(engine_name="lsbm", workload=None, **workload_kwargs):
         YCSBDriver(setup.engine, config, setup.clock, workload, seed=5),
         setup,
     )
+
+
+def make_oracle_driver(engine_name="lsbm", seed=3, **workload_kwargs):
+    """A driver shadowed by a KVOracle preseeded with the preload."""
+    config = SystemConfig.paper_scaled(8192)
+    setup = build_engine(engine_name, config)
+    preload(setup)
+    oracle = KVOracle()
+    for key in range(config.unique_keys):
+        oracle.put(key, 0)
+    workload = YCSBWorkload(config.unique_keys, **workload_kwargs)
+    driver = YCSBDriver(
+        setup.engine,
+        config,
+        setup.clock,
+        workload,
+        seed=seed,
+        client_threads=64,
+        oracle=oracle,
+    )
+    return driver, setup, oracle
 
 
 class TestYCSBDriver:
@@ -108,3 +131,97 @@ class TestYCSBDriver:
         result = driver.run(20)
         with pytest.raises(ValueError):
             result.latency_percentile_s(150)
+
+
+class TestOracleBackedDriver:
+    """The driver shadowed by a KVOracle asserts returned *values*, not
+    just op counts — every read/scan answer is checked against the
+    trivially correct model."""
+
+    MIX = dict(
+        read_proportion=0.35,
+        update_proportion=0.2,
+        scan_proportion=0.1,
+        rmw_proportion=0.2,
+        delete_proportion=0.15,
+        max_scan_length=20,
+    )
+
+    @pytest.mark.parametrize("engine_name", ["lsbm", "leveldb", "blsm"])
+    def test_mixed_workload_values_match_oracle(self, engine_name):
+        driver, _, _ = make_oracle_driver(engine_name, **self.MIX)
+        driver.run(300)
+        assert driver.reads_verified > 50
+        assert driver.scans_verified > 5
+        assert driver.ops_by_kind[OpKind.DELETE] > 0
+        assert driver.ops_by_kind[OpKind.READ_MODIFY_WRITE] > 0
+        assert driver.read_mismatches == 0
+        assert driver.scan_mismatches == 0
+
+    def test_rmw_reads_see_prior_writes(self):
+        """A pure RMW mix re-reads keys it just wrote: each read must
+        return the value of the latest engine-assigned seq."""
+        driver, _, _ = make_oracle_driver(rmw_proportion=1.0)
+        driver.run(200)
+        assert driver.reads_verified > 20
+        assert driver.read_mismatches == 0
+
+    def test_scan_mix_values_match_oracle(self):
+        driver, _, _ = make_oracle_driver(
+            scan_proportion=0.5, update_proportion=0.5, max_scan_length=10
+        )
+        driver.run(200)
+        assert driver.scans_verified > 10
+        assert driver.scan_mismatches == 0
+
+    def test_deleted_keys_read_as_missing(self):
+        driver, setup, oracle = make_oracle_driver(
+            read_proportion=0.5, delete_proportion=0.5
+        )
+        driver.run(300)
+        deleted = driver.ops_by_kind[OpKind.DELETE]
+        assert deleted > 0
+        assert driver.read_mismatches == 0
+        # Spot-check directly: every key the oracle dropped reads as
+        # missing from the engine too.
+        config = setup.config
+        gone = [k for k in range(config.unique_keys) if not oracle.get(k)[0]]
+        assert gone, "delete mix removed no preloaded keys"
+        for key in gone[:20]:
+            assert not setup.engine.get(key).found
+
+    def test_direct_value_assertion(self):
+        """Beyond counters: the exact returned string matches the
+        oracle's expectation for a key the mix updated."""
+        from repro.sstable.entry import value_for
+
+        driver, setup, oracle = make_oracle_driver(
+            read_proportion=0.5, update_proportion=0.5
+        )
+        driver.run(200)
+        updated = [
+            key
+            for key in range(setup.config.unique_keys)
+            if oracle.get(key)[0] and oracle.get(key)[1] != value_for(key, 0)
+        ]
+        assert updated, "update mix touched no preloaded keys"
+        for key in updated[:20]:
+            got = setup.engine.get(key)
+            assert got.found
+            assert got.value == oracle.get(key)[1]
+
+    def test_unverified_driver_keeps_counters_at_zero(self):
+        driver, _ = make_driver(read_proportion=1.0)
+        driver.run(50)
+        assert driver.reads_verified == 0
+        assert driver.scan_mismatches == 0
+
+    def test_delete_proportion_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            YCSBWorkload(100, read_proportion=0.5, delete_proportion=0.6)
+
+    def test_delete_only_mix_issues_deletes(self):
+        driver, setup, _ = make_oracle_driver(delete_proportion=1.0)
+        driver.run(100)
+        assert driver.ops_by_kind[OpKind.DELETE] > 0
+        assert setup.engine.stats.deletes == driver.ops_by_kind[OpKind.DELETE]
