@@ -275,6 +275,41 @@ def validate_bench(payload: dict) -> None:
                     f"bench payload: runs[{label!r}][{field!r}] must be "
                     f"{kind.__name__}, got {type(run.get(field)).__name__}"
                 )
+        trace = run.get("trace")
+        if trace is not None:
+            _validate_trace_block(label, trace)
+
+
+def _validate_trace_block(label: str, trace: object) -> None:
+    """Validate one run entry's optional ``trace`` digest block."""
+    if not isinstance(trace, dict):
+        raise ValueError(
+            f"bench payload: runs[{label!r}]['trace'] must be a dict"
+        )
+    if trace.get("mode") not in ("exemplar", "full"):
+        raise ValueError(
+            f"bench payload: runs[{label!r}]['trace']['mode'] must be "
+            "'exemplar' or 'full'"
+        )
+    for field in ("exemplars", "flight_dumps"):
+        value = trace.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(
+                f"bench payload: runs[{label!r}]['trace'][{field!r}] "
+                "must be an int"
+            )
+    for field in ("flight_triggers", "worst_exemplars"):
+        if not isinstance(trace.get(field), list):
+            raise ValueError(
+                f"bench payload: runs[{label!r}]['trace'][{field!r}] "
+                "must be a list"
+            )
+    for index, digest in enumerate(trace["worst_exemplars"]):
+        if not isinstance(digest, dict) or "trace_id" not in digest:
+            raise ValueError(
+                f"bench payload: runs[{label!r}]['trace']"
+                f"['worst_exemplars'][{index}] must be an exemplar digest"
+            )
 
 
 def speed_baseline_summary() -> dict | None:

@@ -33,6 +33,17 @@ Usage (installed or via ``python -m repro.cli``):
     python -m repro.cli cluster --engines leveldb,lsbm --shards 4 \\
         --partitioner range --rate 8000 --jobs 4 --json
 
+    # end-to-end request tracing: tail exemplars + flight recorder
+    python -m repro.cli serve --engines lsbm --rate 8000 \\
+        --trace exemplar --trace-dir traces/
+
+    # live per-shard telemetry (and an OpenMetrics snapshot)
+    python -m repro.cli top --engine lsbm --shards 2 --plain \\
+        --metrics-out metrics.prom
+
+    # render an archived payload (bench, serve, or cluster JSON)
+    python -m repro.cli report --from BENCH_cluster.json
+
     # replay an archived operation trace against an engine
     python -m repro.cli trace replay trace.txt --engine lsbm --json
 
@@ -80,6 +91,45 @@ def _add_replication(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="worker processes for replicated runs (default 1)",
+    )
+
+
+def _add_tracing(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default="off",
+        choices=("off", "exemplar", "full"),
+        help="end-to-end request tracing: tail-biased exemplars "
+        "('exemplar') or every completed request ('full'); default off",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        help="write exemplar span trees and flight-recorder dumps as "
+        "JSONL files under this directory",
+    )
+    parser.add_argument(
+        "--trace-slo",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="flight-recorder SLO-breach trigger: total request latency "
+        "over this many seconds (default 1.0)",
+    )
+    parser.add_argument(
+        "--trace-stall-spike",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="flight-recorder stall-spike trigger: one engine stall "
+        "over this many seconds (default 0.25)",
+    )
+    parser.add_argument(
+        "--trace-dip",
+        type=float,
+        default=0.7,
+        metavar="RATIO",
+        help="flight-recorder hit-ratio-dip trigger threshold, same "
+        "family as repro diagnose (default 0.7)",
     )
 
 
@@ -402,6 +452,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Headers for the worst-exemplar digest table (tracing runs).
+_EXEMPLAR_HEADERS = [
+    "trace id", "shard", "class", "op", "sampled", "total ms",
+    "queue ms", "service ms", "top stage", "stage ms",
+]
+
+
+def _exemplar_rows(digests: list[dict]) -> list[list[str]]:
+    """Table rows from ``exemplar_summary`` digests (``.get``-tolerant)."""
+    return [
+        [
+            str(digest.get("trace_id", "?")),
+            "-" if digest.get("shard") is None else str(digest["shard"]),
+            str(digest.get("klass", "?")),
+            str(digest.get("op", "?")),
+            str(digest.get("sampled", "?")),
+            f"{digest.get('total_ms', 0.0):.3f}",
+            f"{digest.get('queue_ms', 0.0):.3f}",
+            f"{digest.get('service_ms', 0.0):.3f}",
+            str(digest.get("top_stage", "?")),
+            f"{digest.get('top_stage_ms', 0.0):.3f}",
+        ]
+        for digest in digests
+    ]
+
+
 #: Headers for the serve latency-vs-offered-load table.
 _SERVE_HEADERS = [
     "run", "class", "offered", "goodput", "p50 ms", "p99 ms", "p99.9 ms",
@@ -466,6 +542,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             scale=args.scale,
             duration_s=args.duration,
             queue_bound=args.queue_bound,
+            trace=args.trace,
+            trace_dir=args.trace_dir,
+            trace_slo_s=args.trace_slo,
+            trace_stall_spike_s=args.trace_stall_spike,
+            trace_dip_threshold=args.trace_dip,
         )
     except (ConfigError, ValueError) as error:
         print(f"serve: {error}", file=sys.stderr)
@@ -486,6 +567,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(ascii_table(_SERVE_HEADERS, _serve_rows(outcome)))
+    for spec_outcome in outcome.outcomes:
+        result = spec_outcome.result
+        if result.trace_mode == "off" or not result.exemplars:
+            continue
+        print(
+            f"\nworst exemplars — {spec_outcome.spec.label()} "
+            f"({len(result.exemplars)} kept, "
+            f"{len(result.flight_dumps)} flight dumps)"
+        )
+        print(ascii_table(
+            _EXEMPLAR_HEADERS, _exemplar_rows(result.worst_exemplars(5))
+        ))
     print(
         f"\n{len(outcome.outcomes)} runs in {outcome.wall_clock_s:.1f}s "
         f"with jobs={outcome.jobs} "
@@ -548,6 +641,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             "arrival": args.arrival,
             "queue_bound": args.queue_bound,
             "verify": args.verify,
+            "trace": args.trace,
+            "trace_dir": args.trace_dir,
+            "trace_slo_s": args.trace_slo,
+            "trace_stall_spike_s": args.trace_stall_spike,
+            "trace_dip_threshold": args.trace_dip,
         }
         if args.write_rate is not None:
             common["write_rate_qps"] = args.write_rate
@@ -634,6 +732,19 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     print(ascii_table(_CLUSTER_HEADERS, summary_rows))
     print()
     print(ascii_table(_SHARD_HEADERS, shard_rows))
+    for spec, result, _wall in entries:
+        if all(shard.trace_mode == "off" for shard in result.shards):
+            continue
+        worst = result.worst_exemplars(5)
+        if not worst:
+            continue
+        kept = sum(len(shard.exemplars) for shard in result.shards)
+        dumps = sum(len(shard.flight_dumps) for shard in result.shards)
+        print(
+            f"\nworst exemplars — {spec.label()} "
+            f"({kept} kept, {dumps} flight dumps)"
+        )
+        print(ascii_table(_EXEMPLAR_HEADERS, _exemplar_rows(worst)))
     total_wall = sum(wall for _, _, wall in entries)
     print(f"\n{len(entries)} cluster cells in {total_wall:.1f}s")
     return 0
@@ -756,10 +867,199 @@ def _queueing_decomposition(records: list[dict]) -> dict[str, object]:
     return summary
 
 
+def _render_trace_section(trace: dict) -> None:
+    """Print a payload's ``trace`` digest (mode, dumps, worst requests)."""
+    triggers = trace.get("flight_triggers") or []
+    print(
+        f"trace: mode={trace.get('mode', '?')} "
+        f"exemplars={trace.get('exemplars', 0)} "
+        f"flight_dumps={trace.get('flight_dumps', 0)} "
+        f"triggers={','.join(str(t) for t in triggers) or '-'}"
+    )
+    worst = trace.get("worst_exemplars")
+    if isinstance(worst, list) and worst:
+        print(ascii_table(_EXEMPLAR_HEADERS, _exemplar_rows(worst)))
+
+
+def _render_cluster_entry(label: str, entry: dict) -> None:
+    """Cluster bench entry as summary + per-shard tables (``.get``-based)."""
+    print(ascii_table(
+        ["cluster", "shards", "goodput", "p50 ms", "p99 ms",
+         "imbalance", "shed", "deferred"],
+        [[
+            label,
+            str(entry.get("num_shards", "?")),
+            format_qps(float(entry.get("goodput_qps", 0.0))),
+            f"{entry.get('latency_p50_ms', 0.0):.2f}",
+            f"{entry.get('latency_p99_ms', 0.0):.2f}",
+            f"{entry.get('read_imbalance', 1.0):.2f}x",
+            str(entry.get("shed", 0)),
+            str(entry.get("deferred", 0)),
+        ]],
+    ))
+    per_shard = entry.get("per_shard")
+    if isinstance(per_shard, dict) and per_shard:
+        rows = []
+        for index in sorted(
+            per_shard, key=lambda s: int(s) if str(s).isdigit() else -1
+        ):
+            shard = per_shard[index]
+            if not isinstance(shard, dict):
+                continue
+            rows.append([
+                str(index),
+                str(shard.get("reads_completed", 0)),
+                str(shard.get("writes_applied", 0)),
+                format_qps(float(shard.get("goodput_qps", 0.0))),
+                f"{shard.get('latency_p99_ms', 0.0):.2f}",
+                f"{shard.get('mean_hit_ratio', 0.0):.3f}",
+                f"{shard.get('stall_seconds', 0.0):.1f}",
+                str(shard.get("shed", 0)),
+            ])
+        print(ascii_table(
+            ["shard", "reads", "writes", "goodput", "p99 ms", "hit",
+             "stall s", "shed"],
+            rows,
+        ))
+    migration = entry.get("migration")
+    if isinstance(migration, dict):
+        print(
+            f"migration: [{migration.get('low')}, {migration.get('high')}) "
+            f"shard {migration.get('source')} -> {migration.get('target')} "
+            f"at t={migration.get('at_s')}s "
+            f"({migration.get('entries')} entries)"
+        )
+    verify = entry.get("verify")
+    if isinstance(verify, dict):
+        print(
+            f"oracle: {verify.get('reads_checked', 0)} reads checked, "
+            f"{verify.get('read_mismatches', 0)} mismatches"
+        )
+
+
+def _render_generic_entry(label: str, entry: dict) -> None:
+    """Any run/serve bench entry as a one-row summary (``.get``-based)."""
+    print(ascii_table(
+        ["run", "kind", "reads", "writes", "hit", "p50 ms", "p99 ms"],
+        [[
+            label,
+            str(entry.get("kind", "run")),
+            str(entry.get("reads_completed", 0)),
+            str(entry.get("writes_applied", 0)),
+            f"{entry.get('mean_hit_ratio', 0.0):.3f}",
+            f"{entry.get('latency_p50_ms', 0.0):.2f}",
+            f"{entry.get('latency_p99_ms', 0.0):.2f}",
+        ]],
+    ))
+
+
+def _render_run_entry(label: str, entry: dict) -> None:
+    if entry.get("kind") == "cluster":
+        _render_cluster_entry(label, entry)
+    else:
+        _render_generic_entry(label, entry)
+    trace = entry.get("trace")
+    if isinstance(trace, dict):
+        _render_trace_section(trace)
+
+
+def _report_digest(payload: dict) -> dict:
+    """Compact machine-readable digest of a loaded payload (``--json``)."""
+    runs = payload.get("runs")
+    if isinstance(runs, dict):
+        return {
+            "name": payload.get("name"),
+            "runs": {
+                label: {
+                    "kind": entry.get("kind", "run"),
+                    "reads_completed": entry.get("reads_completed"),
+                    "latency_p99_ms": entry.get("latency_p99_ms"),
+                    "trace": entry.get("trace"),
+                }
+                for label, entry in runs.items()
+                if isinstance(entry, dict)
+            },
+        }
+    shards = payload.get("shards")
+    return {
+        "kind": payload.get("kind", "run"),
+        "reads_completed": payload.get("reads_completed"),
+        "num_shards": len(shards) if isinstance(shards, list) else None,
+    }
+
+
+def _report_from_file(args: argparse.Namespace) -> int:
+    """``repro report --from FILE``: render an archived payload.
+
+    Accepts any of the repo's JSON artifact shapes and degrades
+    gracefully: a bench payload (``"runs"`` dict, each entry rendered
+    by its ``kind`` — cluster entries get per-shard tables), a lossless
+    ``"kind": "cluster"`` ClusterResult dict, or a lossless
+    ``"kind": "serve"`` ServeResult dict.
+    """
+    from repro.cluster.result import ClusterResult
+    from repro.serve.result import ServeResult
+
+    try:
+        payload = json.loads(Path(args.from_file).read_text())
+    except (OSError, ValueError) as error:
+        print(f"report: cannot load {args.from_file}: {error}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(payload, dict):
+        print(f"report: {args.from_file} is not a JSON object",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(_report_digest(payload), indent=2, sort_keys=True))
+        return 0
+    runs = payload.get("runs")
+    if isinstance(runs, dict):
+        print(
+            f"payload {payload.get('name', '?')!r}: {len(runs)} runs "
+            f"(schema v{payload.get('schema_version', '?')})"
+        )
+        for label in sorted(runs):
+            entry = runs[label]
+            if not isinstance(entry, dict):
+                continue
+            print()
+            _render_run_entry(label, entry)
+        return 0
+    kind = payload.get("kind")
+    if kind == "cluster" and "spec" in payload and "shards" in payload:
+        result = ClusterResult.from_dict(payload)
+        _render_run_entry(result.spec.label(), result.to_json_dict())
+        return 0
+    if kind == "serve":
+        result = ServeResult.from_dict(payload)
+        entry = result.to_json_dict()
+        label = (
+            f"{entry.get('policy', '?')}@"
+            f"{float(entry.get('offered_read_qps', 0.0)):g}qps"
+        )
+        _render_run_entry(label, entry)
+        return 0
+    if "reads_completed" in payload:
+        _render_run_entry(args.from_file, payload)
+        return 0
+    print(
+        f"report: unrecognized payload shape in {args.from_file} "
+        f"(expected a bench payload or a lossless serve/cluster result)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Profiled run: spans + per-cause bandwidth + dip diagnosis."""
     from repro.obs.diagnose import diagnose_dips, format_dip_report
 
+    if args.from_file:
+        return _report_from_file(args)
+    if args.engine is None:
+        print("report: --engine or --from FILE is required", file=sys.stderr)
+        return 2
     config = SystemConfig.paper_scaled(args.scale)
     print(
         f"profiling {args.engine} at 1/{args.scale} scale for "
@@ -852,6 +1152,108 @@ def cmd_report(args: argparse.Namespace) -> int:
               "--sample-every); queueing decomposition unavailable")
     if args.trace_out:
         print(f"\ntrace written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live per-shard telemetry over one coordinated cluster run."""
+    from repro.cluster import ClusterSpec, run_coordinated
+    from repro.obs.expo import render_openmetrics_many
+
+    try:
+        spec = ClusterSpec(
+            engine=args.engine,
+            num_shards=args.shards,
+            partitioner=args.partitioner,
+            read_rate_qps=args.rate,
+            seed=args.seed,
+            scale=args.scale,
+            duration_s=args.duration,
+            policy=args.policy,
+            arrival=args.arrival,
+            queue_bound=args.queue_bound,
+            trace=args.trace,
+            trace_dir=args.trace_dir,
+            trace_slo_s=args.trace_slo,
+            trace_stall_spike_s=args.trace_stall_spike,
+            trace_dip_threshold=args.trace_dip,
+        )
+    except ConfigError as error:
+        print(f"top: {error}", file=sys.stderr)
+        return 2
+    interval = max(1, args.refresh)
+    live = sys.stdout.isatty() and not args.plain
+    headers = ["shard", "reads", "writes", "p99 ms", "hit", "stall s"]
+
+    def on_tick(tick: int, sessions) -> None:
+        now = tick + 1
+        if now % interval:
+            return
+        rows = []
+        for shard, session in enumerate(sessions):
+            result = session.simulator.current_result
+            if result is None:
+                continue
+            hit = (
+                result.hit_ratio.values[-1]
+                if result.hit_ratio.values
+                else 0.0
+            )
+            rows.append([
+                str(shard),
+                str(result.reads_completed),
+                str(result.writes_applied),
+                f"{result.latency_percentile_s(99) * 1000:.2f}",
+                f"{hit:.3f}",
+                f"{result.stall_seconds:.1f}",
+            ])
+        if live:
+            sys.stdout.write("\x1b[H\x1b[2J")
+        print(f"repro top — {spec.label()} — t={now}s")
+        print(ascii_table(headers, rows))
+        sys.stdout.flush()
+
+    try:
+        result = run_coordinated(spec, on_tick=on_tick)
+    except ConfigError as error:
+        print(f"top: {error}", file=sys.stderr)
+        return 2
+    print(f"\nfinal — {spec.label()}")
+    print(ascii_table(_CLUSTER_HEADERS, [[
+        spec.label(),
+        str(result.num_shards),
+        format_qps(result.goodput_qps()),
+        f"{result.read_percentile_ms(50):.2f}",
+        f"{result.read_percentile_ms(99):.2f}",
+        f"{result.read_imbalance():.2f}x",
+        str(result.hottest_shard()),
+        str(result.total_shed),
+        str(result.total_deferred),
+    ]]))
+    if any(shard.trace_mode != "off" for shard in result.shards):
+        worst = result.worst_exemplars(5)
+        if worst:
+            print("\nworst exemplars (fleet)")
+            print(ascii_table(_EXEMPLAR_HEADERS, _exemplar_rows(worst)))
+        dumps = sum(len(shard.flight_dumps) for shard in result.shards)
+        if dumps:
+            triggers = sorted({
+                dump["trigger"]
+                for shard in result.shards
+                for dump in shard.flight_dumps
+            })
+            print(
+                f"flight recorder: {dumps} dumps "
+                f"({', '.join(triggers)})"
+            )
+    if args.metrics_out:
+        out = Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_openmetrics_many([
+            ({"shard": str(index)}, shard.metrics)
+            for index, shard in enumerate(result.shards)
+        ]))
+        print(f"OpenMetrics snapshot written to {out}", file=sys.stderr)
     return 0
 
 
@@ -1124,6 +1526,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--out", help="write the bench-schema payload to this file"
     )
+    _add_tracing(serve)
     serve.set_defaults(func=cmd_serve)
 
     trace = commands.add_parser(
@@ -1275,13 +1678,88 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--out", help="write the bench-schema payload to this file"
     )
+    _add_tracing(cluster)
     cluster.set_defaults(func=cmd_cluster)
+
+    top = commands.add_parser(
+        "top",
+        help="live per-shard telemetry for one coordinated cluster run",
+    )
+    top.add_argument("--engine", default="lsbm", choices=ENGINE_NAMES)
+    top.add_argument(
+        "--shards", type=int, default=2, help="shard count (default 2)"
+    )
+    top.add_argument(
+        "--partitioner", default="hash", help="hash or range (default hash)"
+    )
+    top.add_argument(
+        "--rate",
+        type=float,
+        default=2000.0,
+        help="cluster-wide offered read rate in paper-scale QPS",
+    )
+    top.add_argument(
+        "--policy",
+        default="fifo",
+        help="per-shard scheduling policy (default fifo)",
+    )
+    top.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=("poisson", "bursty"),
+        help="arrival process (default poisson)",
+    )
+    top.add_argument(
+        "--queue-bound",
+        type=int,
+        default=64,
+        help="per-shard request-queue depth bound (default 64)",
+    )
+    top.add_argument(
+        "--scale",
+        type=int,
+        default=2048,
+        help="linear size scale vs the paper's setup (default 2048)",
+    )
+    top.add_argument(
+        "--duration",
+        type=int,
+        default=2000,
+        help="virtual seconds to run (default 2000)",
+    )
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--refresh",
+        type=int,
+        default=20,
+        help="virtual seconds between frames (default 20)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append frames instead of redrawing (the non-tty default)",
+    )
+    top.add_argument(
+        "--metrics-out",
+        help="write a final OpenMetrics snapshot of every shard "
+        "registry to this file",
+    )
+    _add_tracing(top)
+    top.set_defaults(func=cmd_top)
 
     report = commands.add_parser(
         "report",
-        help="profiled run: spans, per-cause bandwidth, dip diagnosis",
+        help="profiled run: spans, per-cause bandwidth, dip diagnosis; "
+        "or render an archived payload with --from",
     )
-    report.add_argument("--engine", required=True, choices=ENGINE_NAMES)
+    report.add_argument("--engine", choices=ENGINE_NAMES)
+    report.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="FILE",
+        help="render an archived JSON payload (bench payload or "
+        "lossless serve/cluster result) instead of running",
+    )
     report.add_argument(
         "--sample-every",
         type=int,

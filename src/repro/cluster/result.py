@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.spec import ClusterSpec
+from repro.obs.tracing import exemplar_summary
 from repro.serve.result import ServeResult
 
 #: Percentile convention shared with :class:`repro.obs.metrics.Reservoir`.
@@ -163,6 +164,19 @@ class ClusterResult:
         reads = [shard.reads_completed for shard in self.shards]
         return reads.index(max(reads))
 
+    def worst_exemplars(self, n: int = 5) -> list[dict]:
+        """Digests of the fleet's ``n`` slowest exemplars, worst first.
+
+        Each exemplar record already carries its shard index, so this
+        is the cross-shard "worst requests and which hop cost them
+        what" view the tracing layer exists for.
+        """
+        pooled = [
+            record for shard in self.shards for record in shard.exemplars
+        ]
+        ranked = sorted(pooled, key=lambda e: (-e["total_s"], e["seq"]))
+        return [exemplar_summary(record) for record in ranked[:n]]
+
     def per_shard_summary(self) -> dict[str, dict[str, object]]:
         """Compact per-shard ledger for reports and the bench payload."""
         summary: dict[str, dict[str, object]] = {}
@@ -274,4 +288,18 @@ class ClusterResult:
             entry["migration"] = self.migration.to_dict()
         if self.verify is not None:
             entry["verify"] = dict(self.verify)
+        if any(shard.trace_mode != "off" for shard in shards):
+            entry["trace"] = {
+                "mode": shards[0].trace_mode,
+                "exemplars": sum(len(s.exemplars) for s in shards),
+                "flight_dumps": sum(len(s.flight_dumps) for s in shards),
+                "flight_triggers": sorted(
+                    {
+                        dump["trigger"]
+                        for shard in shards
+                        for dump in shard.flight_dumps
+                    }
+                ),
+                "worst_exemplars": self.worst_exemplars(5),
+            }
         return entry

@@ -139,8 +139,19 @@ def _migrate(
     )
 
 
-def run_coordinated(spec: ClusterSpec) -> ClusterResult:
-    """Step every shard in lockstep in-process (splits, verification)."""
+def run_coordinated(
+    spec: ClusterSpec,
+    on_tick=None,
+    attach=None,
+) -> ClusterResult:
+    """Step every shard in lockstep in-process (splits, verification).
+
+    ``attach(session, shard)`` runs once per prepared shard before the
+    run starts (test instrumentation: per-shard trace recorders);
+    ``on_tick(tick, sessions)`` runs after every lockstep tick (live
+    views: ``repro top``).  Both default to nothing, and neither can
+    perturb the run unless it mutates the sessions.
+    """
     config = spec.config()
     observer: OracleObserver | None = None
     if spec.verify:
@@ -153,6 +164,9 @@ def run_coordinated(spec: ClusterSpec) -> ClusterResult:
         prepare_shard(spec, shard, observer=observer)
         for shard in range(spec.num_shards)
     ]
+    if attach is not None:
+        for shard, session in enumerate(sessions):
+            attach(session, shard)
     duration = sessions[0].duration_s
     for session in sessions:
         session.simulator.begin(duration)
@@ -162,6 +176,8 @@ def run_coordinated(spec: ClusterSpec) -> ClusterResult:
             migration = _migrate(spec, sessions)
         for session in sessions:
             session.simulator.step()
+        if on_tick is not None:
+            on_tick(tick, sessions)
     # A split scheduled at/after the end never fires; surface that
     # instead of silently reporting an un-run migration.
     if spec.split_at_s is not None and migration is None:

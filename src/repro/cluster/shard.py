@@ -93,6 +93,7 @@ def prepare_shard(
         owned=lambda key: initial.shard_for(key) == shard,
         keep=lambda request: route(request) == shard,
         observer=observer,
+        shard=shard,
     )
 
 

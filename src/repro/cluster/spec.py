@@ -68,6 +68,12 @@ class ClusterSpec:
     do_preload: bool = True
     warm_cache: bool = True
     request_sample_every: int = DEFAULT_REQUEST_SAMPLE_EVERY
+    #: Request tracing for every shard (see ServiceSpec.trace).
+    trace: str = "off"
+    trace_dir: str | None = None
+    trace_slo_s: float = 1.0
+    trace_stall_spike_s: float = 0.25
+    trace_dip_threshold: float = 0.7
     #: Live shard-split schedule (None = no split).
     split_at_s: int | None = None
     split_source: int = 0
@@ -147,6 +153,11 @@ class ClusterSpec:
             do_preload=self.do_preload,
             warm_cache=self.warm_cache,
             request_sample_every=self.request_sample_every,
+            trace=self.trace,
+            trace_dir=self.trace_dir,
+            trace_slo_s=self.trace_slo_s,
+            trace_stall_spike_s=self.trace_stall_spike_s,
+            trace_dip_threshold=self.trace_dip_threshold,
         )
 
     def config(self) -> SystemConfig:
@@ -255,6 +266,11 @@ class ClusterSpec:
             do_preload=serve.do_preload,
             warm_cache=serve.warm_cache,
             request_sample_every=serve.request_sample_every,
+            trace=serve.trace,
+            trace_dir=serve.trace_dir,
+            trace_slo_s=serve.trace_slo_s,
+            trace_stall_spike_s=serve.trace_stall_spike_s,
+            trace_dip_threshold=serve.trace_dip_threshold,
             split_at_s=(
                 None
                 if payload.get("split_at_s") is None

@@ -12,13 +12,19 @@ Three pieces, used together by :class:`~repro.substrate.Substrate`:
 * :mod:`repro.obs.prof` — a :class:`SpanProfiler` sampling per-read span
   traces into the event stream, with a zero-cost disabled path;
 * :mod:`repro.obs.diagnose` — dip diagnosis, attributing hit-ratio dips
-  to the causal events in their windows.
+  to the causal events in their windows;
+* :mod:`repro.obs.tracing` — end-to-end request tracing: deterministic
+  trace ids, tail-based exemplar span trees that reconcile exactly with
+  the serve decomposition, and an anomaly-triggered flight recorder;
+* :mod:`repro.obs.expo` — OpenMetrics-style text exposition of registry
+  snapshots.
 """
 
 from repro.obs.diagnose import (
     DipDiagnosis,
     DipReport,
     diagnose_dips,
+    diagnose_shard_dips,
     find_dips,
     format_dip_report,
 )
@@ -47,12 +53,32 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Reservoir,
 )
+from repro.obs.expo import (
+    render_openmetrics,
+    render_openmetrics_many,
+    sanitize_metric_name,
+)
 from repro.obs.prof import NULL_PROFILER, SpanProfiler
 from repro.obs.trace import TraceRecorder, read_jsonl
+from repro.obs.tracing import (
+    TRACE_MODES,
+    FlightPolicy,
+    FlightRecorder,
+    RequestTracer,
+    exemplar_summary,
+    make_trace_id,
+    reconciliation_error_s,
+    span_tree,
+    stage_sum_s,
+    validate_exemplar,
+    validate_trace_jsonl,
+    write_exemplars_jsonl,
+)
 
 __all__ = [
     "NULL_PROFILER",
     "NULL_REGISTRY",
+    "TRACE_MODES",
     "BufferFrozen",
     "BufferUnfrozen",
     "CacheInvalidated",
@@ -66,19 +92,34 @@ __all__ = [
     "EventTally",
     "FileCreated",
     "FileDiscarded",
+    "FlightPolicy",
+    "FlightRecorder",
     "FlushDone",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ReadSpan",
     "RequestShed",
+    "RequestTracer",
     "Reservoir",
     "SpanProfiler",
     "TraceRecorder",
     "TrimRun",
     "WriteDeferred",
     "diagnose_dips",
+    "diagnose_shard_dips",
+    "exemplar_summary",
     "find_dips",
     "format_dip_report",
+    "make_trace_id",
     "read_jsonl",
+    "reconciliation_error_s",
+    "render_openmetrics",
+    "render_openmetrics_many",
+    "sanitize_metric_name",
+    "span_tree",
+    "stage_sum_s",
+    "validate_exemplar",
+    "validate_trace_jsonl",
+    "write_exemplars_jsonl",
 ]

@@ -29,11 +29,15 @@ if TYPE_CHECKING:  # repro.sim imports repro.obs — keep this one-way.
     from repro.sim.metrics import TimeSeries
 
 #: Event types that can causally explain a hit-ratio dip.
+#: ``RangeMigrated`` joined with the cluster tier: a shard that adopts
+#: (or loses) a key range mid-run serves a cold slice of the keyspace,
+#: which dips its cache exactly like an invalidation does.
 CAUSAL_EVENT_TYPES = (
     "CacheInvalidated",
     "CompactionEnd",
     "TrimRun",
     "BufferFrozen",
+    "RangeMigrated",
 )
 
 #: How many example events each diagnosis transcribes (tallies stay full).
@@ -204,6 +208,38 @@ def diagnose_dips(
                 diagnosis.examples.append(dict(record))
         report.diagnoses.append(diagnosis)
     return report
+
+
+def diagnose_shard_dips(
+    shard_series: list["TimeSeries"],
+    shard_records: list[list[dict]],
+    threshold: float = 0.7,
+    window_s: int | None = None,
+    skip: int = 0,
+) -> dict[int, DipReport]:
+    """Per-shard dip attribution over a cluster run.
+
+    ``shard_series[i]`` is shard ``i``'s hit-ratio series and
+    ``shard_records[i]`` its event records (a per-shard trace
+    recorder's ``records`` or a flight-recorder dump window).  Returns
+    one :class:`DipReport` per shard index, so a split's cold-range
+    dip on the target shard shows up attributed to the
+    ``RangeMigrated``/``CacheInvalidated`` events in its window.
+    """
+    if len(shard_series) != len(shard_records):
+        raise ValueError(
+            f"series/records length mismatch: "
+            f"{len(shard_series)} vs {len(shard_records)}"
+        )
+    return {
+        shard: diagnose_dips(
+            series, records, threshold=threshold,
+            window_s=window_s, skip=skip,
+        )
+        for shard, (series, records) in enumerate(
+            zip(shard_series, shard_records)
+        )
+    }
 
 
 def format_dip_report(report: DipReport) -> str:

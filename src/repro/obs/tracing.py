@@ -1,0 +1,613 @@
+"""End-to-end request tracing for the serve/cluster tier.
+
+Three pieces, all off by default and all deterministic:
+
+* **Trace identity** — :func:`make_trace_id` derives a request's trace
+  id from ``(seed, seq)`` alone.  Arrival seqs are assigned on the
+  *global* merged stream before any shard filtering
+  (:func:`~repro.serve.arrivals.generate_arrivals`), so the same
+  request carries the same trace id in a single-engine run, a 1-shard
+  cluster, and an N-shard cluster at any ``--jobs`` — cross-layer
+  identity without any runtime coordination.
+
+* **Tail-based exemplars** — :class:`RequestTracer` watches every
+  completed request but *keeps* full span trees only for the worst
+  ``tail_k`` requests by total latency (a min-heap over totals) plus a
+  small uniform sample (every ``uniform_every``-th completion), or for
+  everything in ``"full"`` mode.  A kept exemplar's service stages come
+  from :meth:`~repro.sim.kernel.ReadPricer.stage_terms` — the pricer's
+  own addends in its own expression order — so the left-to-right float
+  sum of the stages reproduces the recorded service time *bitwise* and
+  ``queue + Σstages == total`` holds with reconciliation error exactly
+  ``0.0`` (see :func:`reconciliation_error_s`).
+
+* **Flight recorder** — :class:`FlightRecorder` keeps a bounded ring of
+  the most recent bus events per shard and dumps the window to JSONL
+  when an anomaly trigger fires: a request total above the SLO bound,
+  a per-tick stall spike, or a cache hit-ratio sample under the dip
+  threshold (the same default threshold the diagnose layer uses).  The
+  dumped window is exactly the evidence
+  :func:`~repro.obs.diagnose.diagnose_dips` attributes from.
+
+When tracing is off the serve loop holds no tracer and no flight
+recorder (plain ``None`` checks, mirroring ``NULL_PROFILER``), the bus
+keeps its counting-only amortization, and the hot path is unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import re
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from hashlib import blake2b
+
+#: Valid tracing modes for specs and CLI flags.
+TRACE_MODES = ("off", "exemplar", "full")
+
+#: Worst-by-total-latency exemplars retained per shard in exemplar mode.
+DEFAULT_TAIL_K = 16
+
+#: Uniform-sample period (prime, so it doesn't phase-lock with load).
+DEFAULT_UNIFORM_EVERY = 101
+
+#: Hard cap on retained exemplars (guards ``"full"`` mode memory).
+DEFAULT_MAX_EXEMPLARS = 10_000
+
+#: Operation kinds a request can carry.
+_OPS = ("read", "scan", "write")
+
+
+def make_trace_id(seed: int, seq: int) -> str:
+    """Deterministic 16-hex-digit trace id for request ``seq`` of ``seed``.
+
+    Depends only on the run seed and the request's global sequence
+    number, both of which are invariant under shard count and worker
+    count — the identity that ties a request's hops together.
+    """
+    return blake2b(f"{seed}/req/{seq}".encode(), digest_size=8).hexdigest()
+
+
+def stage_sum_s(stages: list[dict]) -> float:
+    """Left-to-right float sum of stage durations (NOT ``math.fsum``).
+
+    Exactness contract: the stages of an exemplar are the pricer's own
+    addends in the pricer's own evaluation order, so this plain
+    accumulation reproduces the recorded ``service_s`` bit for bit.
+    """
+    total = 0.0
+    for stage in stages:
+        total += stage["duration_s"]
+    return total
+
+
+def reconciliation_error_s(exemplar: dict) -> float:
+    """|queue_delay + Σ service stages − total| for one exemplar.
+
+    Zero — exactly zero, not merely small — for every exemplar the
+    tracer emits: the stage sum equals ``service_s`` bitwise and
+    ``total_s`` was computed as ``queue_delay_s + service_s``.
+    """
+    service = stage_sum_s(exemplar["stages"])
+    return abs(exemplar["queue_delay_s"] + service - exemplar["total_s"])
+
+
+def span_tree(exemplar: dict) -> dict:
+    """The nested span-tree view of one exemplar record.
+
+    ``request`` → (``queue``, ``service`` → per-stage leaves).  Derived
+    deterministically from the flat record, so comparing exemplar lists
+    compares span trees.
+    """
+    return {
+        "name": "request",
+        "trace_id": exemplar["trace_id"],
+        "start_s": exemplar["arrival_s"],
+        "duration_s": exemplar["total_s"],
+        "children": [
+            {
+                "name": "queue",
+                "duration_s": exemplar["queue_delay_s"],
+                "children": [],
+            },
+            {
+                "name": "service",
+                "duration_s": exemplar["service_s"],
+                "children": [
+                    {"name": stage["stage"], "duration_s": stage["duration_s"]}
+                    for stage in exemplar["stages"]
+                ],
+            },
+        ],
+    }
+
+
+def exemplar_summary(exemplar: dict) -> dict:
+    """Compact one-line digest of an exemplar for reports and payloads."""
+    candidates = [
+        {"stage": "queue", "duration_s": exemplar["queue_delay_s"]}
+    ] + list(exemplar["stages"])
+    top = max(candidates, key=lambda stage: stage["duration_s"])
+    return {
+        "trace_id": exemplar["trace_id"],
+        "seq": exemplar["seq"],
+        "shard": exemplar.get("shard"),
+        "klass": exemplar["klass"],
+        "op": exemplar["op"],
+        "sampled": exemplar["sampled"],
+        "total_ms": exemplar["total_s"] * 1000.0,
+        "queue_ms": exemplar["queue_delay_s"] * 1000.0,
+        "service_ms": exemplar["service_s"] * 1000.0,
+        "top_stage": top["stage"],
+        "top_stage_ms": top["duration_s"] * 1000.0,
+    }
+
+
+def safe_label(text: str) -> str:
+    """A label reduced to filename-safe characters."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-")
+
+
+class RequestTracer:
+    """Tail-biased exemplar sampler over one serve loop's completions.
+
+    The admission decision per completed request is O(1) against the
+    current tail heap; a span tree is only *built* for requests that
+    are actually kept, so exemplar mode's cost is dominated by the heap
+    compare, not by span construction.
+    """
+
+    __slots__ = (
+        "mode",
+        "seed",
+        "shard",
+        "tail_k",
+        "uniform_every",
+        "max_exemplars",
+        "offered",
+        "dropped",
+        "_pricer",
+        "_cache_hit_s",
+        "_tail_heap",
+        "_tail",
+        "_uniform",
+        "_full",
+    )
+
+    def __init__(
+        self,
+        mode: str,
+        seed: int,
+        shard: int | None = None,
+        tail_k: int = DEFAULT_TAIL_K,
+        uniform_every: int = DEFAULT_UNIFORM_EVERY,
+        max_exemplars: int = DEFAULT_MAX_EXEMPLARS,
+    ) -> None:
+        if mode not in TRACE_MODES or mode == "off":
+            raise ValueError(
+                f"tracer mode must be one of {TRACE_MODES[1:]}, got {mode!r}"
+            )
+        if tail_k < 1:
+            raise ValueError(f"tail_k must be >= 1, got {tail_k}")
+        if uniform_every < 1:
+            raise ValueError(
+                f"uniform_every must be >= 1, got {uniform_every}"
+            )
+        self.mode = mode
+        self.seed = seed
+        self.shard = shard
+        self.tail_k = tail_k
+        self.uniform_every = uniform_every
+        self.max_exemplars = max_exemplars
+        self.offered = 0
+        self.dropped = 0
+        self._pricer = None
+        self._cache_hit_s = 0.0
+        #: Min-heap of (total_s, seq) over the retained tail exemplars.
+        self._tail_heap: list[tuple[float, int]] = []
+        self._tail: dict[int, dict] = {}
+        self._uniform: list[dict] = []
+        self._full: list[dict] = []
+
+    def bind_pricer(self, pricer) -> None:
+        """Adopt the serve loop's pricer (the source of stage terms)."""
+        self._pricer = pricer
+        self._cache_hit_s = pricer.config.cache_hit_s
+
+    # ------------------------------------------------------------------
+    # Sampling decisions.
+    # ------------------------------------------------------------------
+    def _admit(self, total_s: float, seq: int) -> str | None:
+        """Keep this completion?  Returns its sample tag, or ``None``."""
+        if self.mode == "full":
+            if len(self._full) >= self.max_exemplars:
+                self.dropped += 1
+                return None
+            return "full"
+        if (
+            (self.offered - 1) % self.uniform_every == 0
+            and len(self._uniform) < self.max_exemplars
+        ):
+            return "uniform"
+        heap = self._tail_heap
+        if len(heap) < self.tail_k or (total_s, seq) > heap[0]:
+            return "tail"
+        return None
+
+    def _keep(
+        self,
+        request,
+        queue_delay_s: float,
+        service_s: float,
+        total_s: float,
+        stages: list[dict],
+        tag: str,
+        extra: dict,
+    ) -> None:
+        record = {
+            "trace_id": make_trace_id(self.seed, request.seq),
+            "seq": request.seq,
+            "klass": request.klass,
+            "op": request.op,
+            "shard": self.shard,
+            "sampled": tag,
+            "retries": request.retries,
+            "arrival_s": request.arrival_s,
+            "queue_delay_s": queue_delay_s,
+            "service_s": service_s,
+            "total_s": total_s,
+            "stages": stages,
+        }
+        record.update(extra)
+        if tag == "tail":
+            if len(self._tail_heap) >= self.tail_k:
+                _, evicted = heapq.heapreplace(
+                    self._tail_heap, (total_s, request.seq)
+                )
+                del self._tail[evicted]
+            else:
+                heapq.heappush(self._tail_heap, (total_s, request.seq))
+            self._tail[request.seq] = record
+        elif tag == "uniform":
+            self._uniform.append(record)
+        else:
+            self._full.append(record)
+
+    # ------------------------------------------------------------------
+    # Completion hooks (called by the serve loop's dispatch).
+    # ------------------------------------------------------------------
+    def offer_read(
+        self,
+        request,
+        queue_delay_s: float,
+        service_s: float,
+        total_s: float,
+        cost,
+        pairs: int,
+        utilization: float,
+        is_scan: bool,
+    ) -> None:
+        """Offer a completed read/scan; build its span tree if kept."""
+        self.offered += 1
+        tag = self._admit(total_s, request.seq)
+        if tag is None:
+            return
+        # Zero-duration terms are dropped for compactness: removing a
+        # ``+0.0`` addend from a positive left-to-right sum is bitwise
+        # identity (the leading cpu term is always > 0), so the stage
+        # sum still equals service_s exactly.
+        stages = [
+            {"stage": name, "duration_s": seconds}
+            for name, seconds in self._pricer.stage_terms(
+                cost, pairs, utilization, is_scan
+            )
+            if seconds != 0.0
+        ]
+        self._keep(
+            request,
+            queue_delay_s,
+            service_s,
+            total_s,
+            stages,
+            tag,
+            {"utilization": utilization},
+        )
+
+    def offer_write(
+        self,
+        request,
+        queue_delay_s: float,
+        service_s: float,
+        total_s: float,
+        stall_s: float,
+    ) -> None:
+        """Offer a completed write: engine ingest plus any stall block."""
+        self.offered += 1
+        tag = self._admit(total_s, request.seq)
+        if tag is None:
+            return
+        # service_s was computed as cache_hit_s + stall_s, in that
+        # order, so these two stages sum to it bitwise (and dropping a
+        # zero stall term preserves the sum exactly).
+        stages = [{"stage": "engine_write", "duration_s": self._cache_hit_s}]
+        if stall_s != 0.0:
+            stages.append({"stage": "write_stall", "duration_s": stall_s})
+        self._keep(
+            request,
+            queue_delay_s,
+            service_s,
+            total_s,
+            stages,
+            tag,
+            {"stall_s": stall_s},
+        )
+
+    # ------------------------------------------------------------------
+    # Harvest.
+    # ------------------------------------------------------------------
+    def exemplars(self) -> list[dict]:
+        """Every kept exemplar, in global request order."""
+        records = self._full + self._uniform + list(self._tail.values())
+        return sorted(records, key=lambda record: record["seq"])
+
+    def summary(self) -> dict:
+        return {
+            "mode": self.mode,
+            "offered": self.offered,
+            "kept": len(self._full) + len(self._uniform) + len(self._tail),
+            "dropped": self.dropped,
+            "tail_k": self.tail_k,
+            "uniform_every": self.uniform_every,
+        }
+
+
+# ----------------------------------------------------------------------
+# Flight recorder.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlightPolicy:
+    """When the flight recorder dumps, and how much it remembers.
+
+    The defaults line up with the rest of the stack: ``dip_threshold``
+    matches :func:`~repro.obs.diagnose.diagnose_dips`'s default, and
+    ``stall_spike_s`` matches the admission controller's default
+    per-window stall budget.
+    """
+
+    capacity: int = 512
+    slo_total_s: float = 1.0
+    stall_spike_s: float = 0.25
+    dip_threshold: float = 0.7
+    cooldown_s: float = 120.0
+    max_dumps: int = 8
+
+
+class FlightRecorder:
+    """Bounded ring of recent events, dumped to JSONL on anomalies.
+
+    Subscribes to the shard's bus (which switches the bus out of
+    counting-only mode — the price of having the evidence on hand) and
+    timestamps each event with the engine clock.  Triggers are checked
+    by the serve loop (``observe_latency`` per completion,
+    ``observe_stall`` per tick, ``observe_hit_ratio`` per cache
+    sample); each trigger kind has its own cooldown so one sustained
+    anomaly doesn't flood the dump budget.
+    """
+
+    def __init__(
+        self,
+        clock,
+        bus=None,
+        policy: FlightPolicy = FlightPolicy(),
+        shard: int | None = None,
+        out_dir: str | Path | None = None,
+        label: str = "",
+    ) -> None:
+        self.policy = policy
+        self.clock = clock
+        self.shard = shard
+        self.out_dir = None if out_dir is None else Path(out_dir)
+        self.label = safe_label(label) if label else ""
+        self.dumps: list[dict] = []
+        self.dropped_dumps = 0
+        self._ring: deque[dict] = deque(maxlen=policy.capacity)
+        self._last_trigger: dict[str, float] = {}
+        if bus is not None:
+            bus.subscribe_all(self._on_event)
+
+    def _on_event(self, event) -> None:
+        record = {"t": self.clock.now, "event": type(event).__name__}
+        record.update(asdict(event))
+        self._ring.append(record)
+
+    def note(self, t: float, event: str, **fields) -> None:
+        """Append a synthetic record (request breadcrumbs, markers)."""
+        record = {"t": t, "event": event}
+        record.update(fields)
+        self._ring.append(record)
+
+    # ------------------------------------------------------------------
+    # Trigger checks.
+    # ------------------------------------------------------------------
+    def observe_latency(
+        self, t: float, total_s: float, seq: int, klass: str
+    ) -> None:
+        if total_s > self.policy.slo_total_s:
+            self._trigger(
+                "slo-breach",
+                t,
+                total_s,
+                self.policy.slo_total_s,
+                {"seq": seq, "klass": klass},
+            )
+
+    def observe_stall(self, t: float, stall_tick_s: float) -> None:
+        if stall_tick_s > self.policy.stall_spike_s:
+            self._trigger(
+                "stall-spike", t, stall_tick_s, self.policy.stall_spike_s
+            )
+
+    def observe_hit_ratio(self, t: float, ratio: float) -> None:
+        if ratio < self.policy.dip_threshold:
+            self._trigger(
+                "hit-ratio-dip", t, ratio, self.policy.dip_threshold
+            )
+
+    def _trigger(
+        self,
+        kind: str,
+        t: float,
+        value: float,
+        threshold: float,
+        detail: dict | None = None,
+    ) -> None:
+        last = self._last_trigger.get(kind)
+        if last is not None and t - last < self.policy.cooldown_s:
+            return
+        self._last_trigger[kind] = t
+        if len(self.dumps) >= self.policy.max_dumps:
+            self.dropped_dumps += 1
+            return
+        dump = {
+            "trigger": kind,
+            "t": t,
+            "value": value,
+            "threshold": threshold,
+            "shard": self.shard,
+            "records": list(self._ring),
+        }
+        if detail:
+            dump.update(detail)
+        self.dumps.append(dump)
+        if self.out_dir is not None:
+            self._write(dump)
+
+    def _write(self, dump: dict) -> None:
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        shard_part = "" if self.shard is None else f"_shard{self.shard}"
+        name = (
+            f"flight_{self.label}{shard_part}"
+            f"_{dump['trigger']}_t{dump['t']}.jsonl"
+        )
+        header = {
+            key: value for key, value in dump.items() if key != "records"
+        }
+        header["event"] = "FlightDump"
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(
+            json.dumps(record, sort_keys=True) for record in dump["records"]
+        )
+        (self.out_dir / name).write_text("\n".join(lines) + "\n")
+
+    def summary(self) -> dict:
+        return {
+            "dumps": len(self.dumps),
+            "dropped_dumps": self.dropped_dumps,
+            "triggers": sorted({dump["trigger"] for dump in self.dumps}),
+        }
+
+
+# ----------------------------------------------------------------------
+# JSONL export and schema validation.
+# ----------------------------------------------------------------------
+def write_exemplars_jsonl(path: str | Path, exemplars: list[dict]) -> int:
+    """One exemplar record per line; returns how many were written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(record, sort_keys=True) for record in exemplars]
+    path.write_text("\n".join(lines) + "\n" if lines else "")
+    return len(lines)
+
+
+def validate_exemplar(record: dict) -> None:
+    """Schema check for one exemplar record; raises ``ValueError``.
+
+    Also enforces the exactness contract: the record's stage sum must
+    reconcile with its queueing-delay + service-time decomposition with
+    error exactly ``0.0``.
+    """
+
+    def fail(message: str):
+        return ValueError(f"invalid exemplar: {message}: {record!r}")
+
+    trace_id = record.get("trace_id")
+    if not isinstance(trace_id, str) or not re.fullmatch(
+        r"[0-9a-f]{16}", trace_id
+    ):
+        raise fail("trace_id must be 16 lowercase hex digits")
+    if not isinstance(record.get("seq"), int) or record["seq"] < 0:
+        raise fail("seq must be a non-negative int")
+    if record.get("op") not in _OPS:
+        raise fail(f"op must be one of {_OPS}")
+    if record.get("sampled") not in ("tail", "uniform", "full"):
+        raise fail("sampled must be tail|uniform|full")
+    if not isinstance(record.get("klass"), str):
+        raise fail("klass must be a string")
+    for key in ("arrival_s", "queue_delay_s", "service_s", "total_s"):
+        value = record.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise fail(f"{key} must be a non-negative number")
+    stages = record.get("stages")
+    if not isinstance(stages, list) or not stages:
+        raise fail("stages must be a non-empty list")
+    for stage in stages:
+        if not isinstance(stage, dict) or not isinstance(
+            stage.get("stage"), str
+        ):
+            raise fail("each stage needs a 'stage' name")
+        duration = stage.get("duration_s")
+        if not isinstance(duration, (int, float)) or duration < 0:
+            raise fail("each stage needs a non-negative duration_s")
+    if reconciliation_error_s(record) != 0.0:
+        raise fail("stage durations do not reconcile exactly")
+
+
+def validate_flight_record(record: dict) -> None:
+    """Schema check for one flight-ring or dump-header record."""
+    if not isinstance(record.get("t"), (int, float)):
+        raise ValueError(f"flight record needs a numeric 't': {record!r}")
+    if not isinstance(record.get("event"), str):
+        raise ValueError(f"flight record needs an 'event' name: {record!r}")
+    if record["event"] == "FlightDump":
+        if record.get("trigger") not in (
+            "slo-breach",
+            "stall-spike",
+            "hit-ratio-dip",
+        ):
+            raise ValueError(f"unknown flight trigger: {record!r}")
+        for key in ("value", "threshold"):
+            if not isinstance(record.get(key), (int, float)):
+                raise ValueError(
+                    f"flight dump header needs numeric {key!r}: {record!r}"
+                )
+
+
+def validate_trace_jsonl(path: str | Path) -> int:
+    """Validate every line of a trace/flight JSONL file; returns count.
+
+    Exemplar files hold exemplar records (keyed by ``trace_id``);
+    flight files hold a ``FlightDump`` header followed by the ring
+    window's event records.  Raises ``ValueError`` on the first bad
+    line.
+    """
+    count = 0
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            if "trace_id" in record:
+                validate_exemplar(record)
+            else:
+                validate_flight_record(record)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+        count += 1
+    if count == 0:
+        raise ValueError(f"{path}: empty trace file")
+    return count

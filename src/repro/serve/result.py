@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.tracing import exemplar_summary
 from repro.sim.metrics import LatencyReservoir, RunResult, TimeSeries
 
 #: Percentiles exported per class in the JSON summary.
@@ -106,6 +107,14 @@ class ServeResult(RunResult):
     #: retries}``.  ``queue_delay_s + service_s == total_s`` on every
     #: sample — the reconciliation the acceptance tests assert.
     request_samples: list[dict] = field(default_factory=list)
+    #: Tracing mode the run used ("off" | "exemplar" | "full").
+    trace_mode: str = "off"
+    #: Kept exemplar span records (see :mod:`repro.obs.tracing`), in
+    #: global request order; empty when tracing is off.
+    exemplars: list[dict] = field(default_factory=list)
+    #: Flight-recorder dumps fired during the run (trigger + ring
+    #: window); empty when tracing is off.
+    flight_dumps: list[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Aggregates.
@@ -145,6 +154,13 @@ class ServeResult(RunResult):
             for s in self.request_samples
         )
 
+    def worst_exemplars(self, n: int = 5) -> list[dict]:
+        """Digests of the ``n`` slowest kept exemplars, worst first."""
+        ranked = sorted(
+            self.exemplars, key=lambda e: (-e["total_s"], e["seq"])
+        )
+        return [exemplar_summary(record) for record in ranked[:n]]
+
     # ------------------------------------------------------------------
     # Transport.
     # ------------------------------------------------------------------
@@ -163,6 +179,9 @@ class ServeResult(RunResult):
             for name, stats in sorted(self.class_stats.items())
         }
         payload["request_samples"] = [dict(s) for s in self.request_samples]
+        payload["trace_mode"] = self.trace_mode
+        payload["exemplars"] = [dict(e) for e in self.exemplars]
+        payload["flight_dumps"] = [dict(d) for d in self.flight_dumps]
         return payload
 
     @classmethod
@@ -183,6 +202,11 @@ class ServeResult(RunResult):
         }
         result.request_samples = [
             dict(s) for s in payload.get("request_samples", [])
+        ]
+        result.trace_mode = payload.get("trace_mode", "off")
+        result.exemplars = [dict(e) for e in payload.get("exemplars", [])]
+        result.flight_dumps = [
+            dict(d) for d in payload.get("flight_dumps", [])
         ]
         return result
 
@@ -215,4 +239,14 @@ class ServeResult(RunResult):
                 entry[key] = stats.latency_s.percentile(percentile) * 1000
             classes[name] = entry
         summary["classes"] = classes
+        if self.trace_mode != "off":
+            summary["trace"] = {
+                "mode": self.trace_mode,
+                "exemplars": len(self.exemplars),
+                "flight_dumps": len(self.flight_dumps),
+                "flight_triggers": sorted(
+                    {dump["trigger"] for dump in self.flight_dumps}
+                ),
+                "worst_exemplars": self.worst_exemplars(5),
+            }
         return summary

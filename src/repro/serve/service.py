@@ -46,6 +46,13 @@ from repro.config import SystemConfig
 from repro.errors import EngineError
 from repro.obs.events import EventTally, RequestShed, WriteDeferred
 from repro.obs.prof import NULL_PROFILER, SpanProfiler
+from repro.obs.tracing import (
+    FlightPolicy,
+    FlightRecorder,
+    RequestTracer,
+    safe_label,
+    write_exemplars_jsonl,
+)
 from repro.serve.admission import ADMIT, DEFER, AdmissionController, AdmissionPolicy
 from repro.serve.arrivals import Request, generate_arrivals
 from repro.serve.result import ClassStats, ServeResult
@@ -92,6 +99,8 @@ class ServiceSimulator:
         profiler: SpanProfiler | None = None,
         request_sample_every: int = 17,
         observer: DispatchObserver | None = None,
+        tracer: RequestTracer | None = None,
+        flight: FlightRecorder | None = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -104,6 +113,13 @@ class ServiceSimulator:
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.request_sample_every = max(1, request_sample_every)
         self.observer = observer
+        # Tracing off means both stay None: the dispatch loop's only
+        # added cost is a None check, and nothing subscribes to the bus
+        # (which would break its counting-only amortization).
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_pricer(self.pricer)
+        self.flight = flight
         self.metric_cache = engine.metric_cache
         self.event_tally = EventTally(engine.bus)
         #: Deferred writes waiting to re-offer: (retry_at_s, seq, request).
@@ -162,6 +178,8 @@ class ServiceSimulator:
         stall_tick = stall_total - self._stall_last
         self._stall_last = stall_total
         self._stall_window.append((now, stall_tick))
+        if self.flight is not None:
+            self.flight.observe_stall(now, stall_tick)
         cutoff = now - self.admission.policy.stall_window_s
         while self._stall_window and self._stall_window[0][0] <= cutoff:
             self._stall_window.popleft()
@@ -189,6 +207,11 @@ class ServiceSimulator:
         result.stall_seconds = (
             self.engine.stats.stall_seconds - self._stall_baseline
         )
+        if self.tracer is not None:
+            result.trace_mode = self.tracer.mode
+            result.exemplars = self.tracer.exemplars()
+        if self.flight is not None:
+            result.flight_dumps = [dict(d) for d in self.flight.dumps]
         self._result = None
         return result
 
@@ -197,6 +220,11 @@ class ServiceSimulator:
         for _ in range(duration_s):
             self.step()
         return self.finish()
+
+    @property
+    def current_result(self) -> ServeResult | None:
+        """The in-flight result between begin() and finish() (live views)."""
+        return self._result
 
     def _class_ops(self) -> list[tuple[str, str]]:
         seen: dict[str, str] = {}
@@ -398,14 +426,43 @@ class ServiceSimulator:
                         self.observer.on_read(request, got)
                     cost, pairs = got.cost, 0
                 is_scan = request.op == "scan"
-                priced = self.pricer.price(cost, pairs, utilization, is_scan)
+                # The unscaled service seconds *are* the recorded
+                # service time; scaling by ops_scale afterwards yields
+                # the same budget debit the closed-loop pricer charges,
+                # and keeps service_s bitwise equal to the left-to-right
+                # sum of the pricer's stage terms (the tracing layer's
+                # exact-reconciliation contract).
+                seconds = self.pricer.service_seconds(
+                    cost, pairs, utilization, is_scan
+                )
                 self.profiler.record_read(cost, utilization, pairs, is_scan)
-                budget -= priced
-                service_s = priced / config.ops_scale
+                budget -= seconds * config.ops_scale
+                service_s = seconds
                 result.reads_completed += 1
                 reads += 1
             queue_delay_s = max(0.0, start_s - request.arrival_s)
             total_s = queue_delay_s + service_s
+            tracer = self.tracer
+            if tracer is not None:
+                if request.op == "write":
+                    tracer.offer_write(
+                        request, queue_delay_s, service_s, total_s, stall_s
+                    )
+                else:
+                    tracer.offer_read(
+                        request,
+                        queue_delay_s,
+                        service_s,
+                        total_s,
+                        cost,
+                        pairs,
+                        utilization,
+                        is_scan,
+                    )
+                if self.flight is not None:
+                    self.flight.observe_latency(
+                        now, total_s, request.seq, request.klass
+                    )
             self._complete(request, queue_delay_s, service_s, total_s, result)
         self._read_debt = -budget if budget < 0.0 else 0.0
         return reads
@@ -474,6 +531,8 @@ class ServiceSimulator:
                 self._last_cache_stats = stats.snapshot()
                 self._last_hit_sample_tick = now
                 result.hit_ratio.add(now, ratio)
+                if self.flight is not None:
+                    self.flight.observe_hit_ratio(now, ratio)
             result.cache_usage.add(now, self.metric_cache.usage)
         disk = self.engine.disk
         size_kb = disk.live_kb + disk.tick_temp_space_kb()
@@ -519,6 +578,7 @@ def prepare_serve(
     owned: Callable[[int], bool] | None = None,
     keep: Callable[[Request], bool] | None = None,
     observer: DispatchObserver | None = None,
+    shard: int | None = None,
 ) -> ServeSession:
     """Build the engine stack and arrival stream for one serve run.
 
@@ -571,6 +631,22 @@ def prepare_serve(
             config=config,
             sample_every=spec.sample_every,
         )
+    tracer: RequestTracer | None = None
+    flight: FlightRecorder | None = None
+    if spec.trace != "off":
+        tracer = RequestTracer(mode=spec.trace, seed=spec.seed, shard=shard)
+        flight = FlightRecorder(
+            clock=setup.clock,
+            bus=setup.substrate.bus,
+            policy=FlightPolicy(
+                slo_total_s=spec.trace_slo_s,
+                stall_spike_s=spec.trace_stall_spike_s,
+                dip_threshold=spec.trace_dip_threshold,
+            ),
+            shard=shard,
+            out_dir=spec.trace_dir,
+            label=safe_label(spec.label()),
+        )
     simulator = ServiceSimulator(
         setup.engine,
         config,
@@ -581,6 +657,8 @@ def prepare_serve(
         profiler=profiler,
         request_sample_every=spec.request_sample_every,
         observer=observer,
+        tracer=tracer,
+        flight=flight,
     )
     return ServeSession(
         spec=spec, setup=setup, simulator=simulator, duration_s=duration
@@ -600,6 +678,14 @@ def finalize_serve(session: ServeSession, result: ServeResult) -> ServeResult:
         f"rate={spec.read_rate_qps:g}qps"
     )
     result.metrics = session.setup.substrate.registry.snapshot()
+    tracer = session.simulator.tracer
+    if tracer is not None and spec.trace_dir and result.exemplars:
+        shard_part = "" if tracer.shard is None else f"_shard{tracer.shard}"
+        write_exemplars_jsonl(
+            f"{spec.trace_dir}/trace_{safe_label(spec.label())}"
+            f"{shard_part}.jsonl",
+            result.exemplars,
+        )
     return result
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.config import SystemConfig
 from repro.errors import ConfigError
 from repro.obs.prof import DEFAULT_SAMPLE_EVERY
+from repro.obs.tracing import TRACE_MODES
 from repro.serve.arrivals import PROCESSES, ClientClass
 from repro.serve.scheduler import SCHEDULER_NAMES
 from repro.sim.spec import CONFIG_BASES, ExperimentSpec
@@ -65,6 +66,17 @@ class ServiceSpec:
     profile: bool = False
     sample_every: int = DEFAULT_SAMPLE_EVERY
     request_sample_every: int = DEFAULT_REQUEST_SAMPLE_EVERY
+    #: Request tracing: "off" (no tracer, no flight recorder, the bus
+    #: keeps its counting-only amortization), "exemplar" (tail-biased
+    #: span-tree sampling + flight recorder), or "full" (every request).
+    trace: str = "off"
+    #: Where trace/flight JSONL files land (None = keep in memory only).
+    #: Not part of the cell identity — it changes artifacts, not results.
+    trace_dir: str | None = None
+    #: Flight-recorder trigger thresholds (see FlightPolicy).
+    trace_slo_s: float = 1.0
+    trace_stall_spike_s: float = 0.25
+    trace_dip_threshold: float = 0.7
 
     def __post_init__(self) -> None:
         if self.base not in CONFIG_BASES:
@@ -87,6 +99,17 @@ class ServiceSpec:
             raise ConfigError("queue_bound must be >= 1")
         if self.request_sample_every < 1:
             raise ConfigError("request_sample_every must be >= 1")
+        if self.trace not in TRACE_MODES:
+            raise ConfigError(
+                f"unknown trace mode {self.trace!r}; "
+                f"choose from {TRACE_MODES}"
+            )
+        if self.trace_slo_s <= 0:
+            raise ConfigError("trace_slo_s must be > 0")
+        if self.trace_stall_spike_s < 0:
+            raise ConfigError("trace_stall_spike_s must be >= 0")
+        if not 0.0 <= self.trace_dip_threshold <= 1.0:
+            raise ConfigError("trace_dip_threshold must be in [0, 1]")
         # Delegate override validation (field names, sorting) to the
         # experiment spec, then adopt its normalized tuple.
         probe = ExperimentSpec(
@@ -164,6 +187,20 @@ class ServiceSpec:
             parts.append("cold")
         for klass in self.classes:
             parts.append(f"c:{klass.name}:{klass.op}:{klass.rate_qps:g}")
+        if self.trace != "off":
+            parts.append(f"trace:{self.trace}")
+            thresholds = (
+                self.trace_slo_s,
+                self.trace_stall_spike_s,
+                self.trace_dip_threshold,
+            )
+            if thresholds != (1.0, 0.25, 0.7):
+                parts.append(
+                    "flight:"
+                    f"{self.trace_slo_s:g}"
+                    f":{self.trace_stall_spike_s:g}"
+                    f":{self.trace_dip_threshold:g}"
+                )
         return "/".join(parts)
 
     def label(self) -> str:
@@ -195,6 +232,11 @@ class ServiceSpec:
             "profile": self.profile,
             "sample_every": self.sample_every,
             "request_sample_every": self.request_sample_every,
+            "trace": self.trace,
+            "trace_dir": self.trace_dir,
+            "trace_slo_s": self.trace_slo_s,
+            "trace_stall_spike_s": self.trace_stall_spike_s,
+            "trace_dip_threshold": self.trace_dip_threshold,
         }
 
     @classmethod
@@ -230,6 +272,15 @@ class ServiceSpec:
             sample_every=payload.get("sample_every", DEFAULT_SAMPLE_EVERY),
             request_sample_every=payload.get(
                 "request_sample_every", DEFAULT_REQUEST_SAMPLE_EVERY
+            ),
+            trace=payload.get("trace", "off"),
+            trace_dir=payload.get("trace_dir"),
+            trace_slo_s=float(payload.get("trace_slo_s", 1.0)),
+            trace_stall_spike_s=float(
+                payload.get("trace_stall_spike_s", 0.25)
+            ),
+            trace_dip_threshold=float(
+                payload.get("trace_dip_threshold", 0.7)
             ),
         )
 

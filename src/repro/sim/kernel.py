@@ -86,6 +86,101 @@ class ReadPricer:
         self._seek_s = config.seek_s
         self._fg_bandwidth = config.foreground_bandwidth_kb_per_s
 
+    def service_seconds(
+        self,
+        cost: ReadCost,
+        pairs_returned: int,
+        utilization: float,
+        is_scan: bool = False,
+    ) -> float:
+        """Unscaled modeled service seconds of one (simulated) read.
+
+        This is :meth:`price` without the final ``ops_scale`` multiply
+        — the quantity the serve layer records as a request's service
+        time, and exactly the left-to-right sum of
+        :meth:`stage_terms`.
+        """
+        seconds = (
+            self._cache_hit_s
+            + cost.cache_hit_blocks * self._block_hit_s
+            + cost.os_hit_blocks * self._os_hit_s
+            + pairs_returned * self._scan_pair_cpu_s
+        )
+        if is_scan:
+            seconds += cost.tables_checked * self._scan_table_cpu_s
+        seconds += cost.bloom_probes * self._bloom_probe_s
+        blocks = cost.disk_random_blocks
+        seq_runs = cost.seq_runs
+        seq_kb = cost.seq_kb
+        if blocks or seq_runs or seq_kb:
+            clamped = utilization
+            if clamped < 0.0:
+                clamped = 0.0
+            elif clamped > _MAX_UTILIZATION:
+                clamped = _MAX_UTILIZATION
+            queueing = 1.0 / (1.0 - clamped)
+            if blocks:
+                seconds += blocks * self._random_read_s * queueing
+            if seq_runs or seq_kb:
+                seconds += (
+                    seq_kb / self._fg_bandwidth + seq_runs * self._seek_s
+                ) * queueing
+        return seconds
+
+    def stage_terms(
+        self,
+        cost: ReadCost,
+        pairs_returned: int,
+        utilization: float,
+        is_scan: bool = False,
+    ) -> list[tuple[str, float]]:
+        """The labeled addends of :meth:`service_seconds`, in order.
+
+        Exactness contract (what the tracing layer depends on): the
+        terms are exactly the addends of :meth:`service_seconds` in its
+        evaluation order, so a plain left-to-right float accumulation
+        of the returned values is *bitwise equal* to
+        ``service_seconds(...)`` — float addition isn't associative,
+        but this is the same sequence of additions.  Absent conditional
+        terms would contribute ``+0.0``, which is bitwise identity on
+        these positive partial sums, so the list may safely be filtered
+        to its nonzero entries downstream.
+        """
+        terms = [
+            ("cpu", self._cache_hit_s),
+            ("db_cache", cost.cache_hit_blocks * self._block_hit_s),
+            ("os_cache", cost.os_hit_blocks * self._os_hit_s),
+            ("scan_pairs", pairs_returned * self._scan_pair_cpu_s),
+        ]
+        if is_scan:
+            terms.append(
+                ("scan_tables", cost.tables_checked * self._scan_table_cpu_s)
+            )
+        terms.append(("bloom", cost.bloom_probes * self._bloom_probe_s))
+        blocks = cost.disk_random_blocks
+        seq_runs = cost.seq_runs
+        seq_kb = cost.seq_kb
+        if blocks or seq_runs or seq_kb:
+            clamped = utilization
+            if clamped < 0.0:
+                clamped = 0.0
+            elif clamped > _MAX_UTILIZATION:
+                clamped = _MAX_UTILIZATION
+            queueing = 1.0 / (1.0 - clamped)
+            if blocks:
+                terms.append(
+                    ("disk_random", blocks * self._random_read_s * queueing)
+                )
+            if seq_runs or seq_kb:
+                terms.append(
+                    (
+                        "disk_seq",
+                        (seq_kb / self._fg_bandwidth + seq_runs * self._seek_s)
+                        * queueing,
+                    )
+                )
+        return terms
+
     def price(
         self,
         cost: ReadCost,
@@ -93,7 +188,15 @@ class ReadPricer:
         utilization: float,
         is_scan: bool = False,
     ) -> float:
-        """Modeled service seconds of one (simulated) read."""
+        """Modeled service seconds of one (simulated) read, scaled.
+
+        The body duplicates :meth:`service_seconds` (plus the final
+        ``ops_scale`` multiply) rather than calling it: this is the
+        per-read closed-loop hot path, and the extra call costs the
+        speed-gate floor real throughput.  The two must stay
+        addend-identical — ``price == service_seconds * ops_scale``
+        bitwise is pinned by ``tests/test_tracing.py``.
+        """
         seconds = (
             self._cache_hit_s
             + cost.cache_hit_blocks * self._block_hit_s

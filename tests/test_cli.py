@@ -620,3 +620,194 @@ class TestClusterCommand:
                 "--split-at", "100",
             ]
         ) == 2
+
+
+class TestTracingFlags:
+    def test_serve_trace_writes_validatable_jsonl(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--engines", "lsbm",
+                "--rate", "30000",
+                "--scale", "8192",
+                "--duration", "300",
+                "--trace", "exemplar",
+                "--trace-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst exemplars" in out
+        assert "top stage" in out
+        from repro.obs.tracing import validate_trace_jsonl
+
+        files = sorted(tmp_path.glob("*.jsonl"))
+        assert any(f.name.startswith("trace_") for f in files)
+        for f in files:
+            assert validate_trace_jsonl(f) > 0
+
+    def test_cluster_trace_payload_carries_trace_digest(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--engines", "lsbm",
+                "--shards", "2",
+                "--rate", "30000",
+                "--scale", "8192",
+                "--duration", "300",
+                "--trace", "exemplar",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (run,) = payload["runs"].values()
+        assert run["trace"]["mode"] == "exemplar"
+        assert run["trace"]["exemplars"] > 0
+        assert run["trace"]["worst_exemplars"]
+
+    def test_trace_mode_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--trace", "loud"]
+            )
+
+
+class TestTopCommand:
+    def test_top_plain_renders_frames_and_summary(self, capsys):
+        code = main(
+            [
+                "top",
+                "--engine", "lsbm",
+                "--shards", "2",
+                "--rate", "30000",
+                "--scale", "8192",
+                "--duration", "120",
+                "--refresh", "60",
+                "--plain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "t=60s" in out and "t=120s" in out
+        assert "final" in out
+        assert "\x1b[" not in out  # --plain never emits ANSI controls
+
+    def test_top_metrics_out_writes_openmetrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "shards.prom"
+        code = main(
+            [
+                "top",
+                "--engine", "lsbm",
+                "--shards", "2",
+                "--rate", "30000",
+                "--scale", "8192",
+                "--duration", "60",
+                "--refresh", "60",
+                "--plain",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert text.endswith("# EOF\n")
+        assert 'shard="0"' in text and 'shard="1"' in text
+        assert text.count("# TYPE") == len(
+            {
+                line.split()[2]
+                for line in text.splitlines()
+                if line.startswith("# TYPE")
+            }
+        )
+
+    def test_top_rejects_bad_partitioner(self, capsys):
+        assert main(
+            ["top", "--engine", "lsbm", "--partitioner", "modulo"]
+        ) == 2
+
+
+class TestReportFromFile:
+    def _cluster_payload(self, tmp_path):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "cluster",
+                "--engines", "lsbm",
+                "--shards", "2",
+                "--rate", "30000",
+                "--scale", "8192",
+                "--duration", "300",
+                "--trace", "exemplar",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_report_from_cluster_bench_payload(self, tmp_path, capsys):
+        out = self._cluster_payload(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--from", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "shards" in text and "imbalance" in text
+        assert "shard" in text and "stall s" in text  # per-shard table
+        assert "trace: mode=exemplar" in text
+        assert "top stage" in text
+
+    def test_report_from_lossless_cluster_result(self, tmp_path, capsys):
+        from repro.cluster import ClusterSpec, run_cluster
+
+        spec = ClusterSpec(
+            engine="lsbm", num_shards=2, partitioner="hash",
+            scale=8192, duration_s=300, read_rate_qps=30_000.0, seed=0,
+            trace="exemplar",
+        )
+        result = run_cluster(spec)
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps(result.to_dict()))
+        assert main(["report", "--from", str(path)]) == 0
+        text = capsys.readouterr().out
+        assert "imbalance" in text
+        assert "trace: mode=exemplar" in text
+
+    def test_report_from_lossless_serve_result(self, tmp_path, capsys):
+        from repro.serve.service import execute_serve
+        from repro.serve.spec import ServiceSpec
+
+        spec = ServiceSpec(
+            engine="lsbm", scale=8192, duration_s=300,
+            read_rate_qps=30_000.0, seed=0, trace="exemplar",
+        )
+        result = execute_serve(spec)
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(result.to_dict()))
+        assert main(["report", "--from", str(path)]) == 0
+        text = capsys.readouterr().out
+        assert "serve" in text
+        assert "trace: mode=exemplar" in text
+
+    def test_report_from_json_digest(self, tmp_path, capsys):
+        out = self._cluster_payload(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--from", str(out), "--json"]) == 0
+        digest = json.loads(capsys.readouterr().out)
+        (run,) = digest["runs"].values()
+        assert run["kind"] == "cluster"
+        assert run["trace"]["exemplars"] > 0
+
+    def test_report_degrades_gracefully_on_bad_inputs(
+        self, tmp_path, capsys
+    ):
+        assert main(["report", "--from", str(tmp_path / "nope.json")]) == 2
+        weird = tmp_path / "weird.json"
+        weird.write_text('{"hello": "world"}')
+        assert main(["report", "--from", str(weird)]) == 2
+        not_json = tmp_path / "broken.json"
+        not_json.write_text("{")
+        assert main(["report", "--from", str(not_json)]) == 2
+
+    def test_report_requires_engine_or_from(self, capsys):
+        assert main(["report"]) == 2
+        err = capsys.readouterr().err
+        assert "--engine or --from" in err

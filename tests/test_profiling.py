@@ -37,6 +37,7 @@ from repro.obs.events import (
     FileCreated,
     FileDiscarded,
     FlushDone,
+    RangeMigrated,
     ReadSpan,
     TrimRun,
 )
@@ -300,6 +301,9 @@ class TestGoldenTrace:
             TrimRun(removed=1, run_index=0),
             BufferFrozen(level=2),
             BufferUnfrozen(level=2),
+            RangeMigrated(
+                low=0, high=1024, entries=512, direction="out", peer=1,
+            ),
             ReadSpan(
                 op="get",
                 sample_index=32,
