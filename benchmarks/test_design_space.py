@@ -1,0 +1,80 @@
+"""Extension — the compaction design space as a measured panel.
+
+Sarkar et al.'s axes (trigger / layout / granularity / movement) become
+concrete engines here: tiering and lazy-leveling points, each with and
+without the paper's compaction buffer, next to the legacy stepped-merge
+and LSbM trees.  The panel quantifies the trade each point makes —
+write amplification and stalls against buffer-cache stability — and the
+bench payload is the artifact ``repro tune`` searches over.
+"""
+
+from __future__ import annotations
+
+from repro.sim.report import ascii_table
+
+from .common import cell, once, run_grid, write_bench, write_report
+
+#: Long enough for compactions to reach the last level, where tiering
+#: and lazy-leveling actually diverge (the upper levels are tiered in
+#: both layouts).
+DURATION = 13_000
+
+ENGINES = (
+    "sm",
+    "tiering",
+    "tiering+buffer",
+    "lazy-leveling",
+    "lazy-leveling+buffer",
+    "lsbm",
+)
+
+
+def _sweep():
+    return run_grid(
+        {name: cell(name, duration=DURATION) for name in ENGINES}
+    )
+
+
+def test_design_space_panel(benchmark):
+    runs = once(benchmark, _sweep)
+    rows = []
+    scalars = {}
+    for name in ENGINES:
+        result = runs[name]
+        compaction_kb = result.metrics.get("engine.compaction_write_kb", 0.0)
+        rows.append([
+            name,
+            f"{result.mean_hit_ratio():.3f}",
+            f"{result.stall_seconds:,.0f}",
+            f"{compaction_kb:,.0f}",
+            f"{result.mean_db_size_mb():,.0f}",
+        ])
+        scalars[f"{name}_compaction_write_kb"] = float(compaction_kb)
+        scalars[f"{name}_stall_seconds"] = float(result.stall_seconds)
+    report = "\n".join([
+        "Extension — compaction design-space panel "
+        "(layout x movement named points)",
+        ascii_table(
+            ["engine", "hit ratio", "stall s", "compaction KB", "DB MB"],
+            rows,
+        ),
+    ])
+    write_report("design_space", report)
+    write_bench("design_space", runs, scalars=scalars)
+
+    tiering = runs["tiering"]
+    lazy = runs["lazy-leveling"]
+    # Lazy-leveling pays for its single-run last level in rewrites and
+    # stalls; tiering pays in read fan-out but keeps the cache warmer.
+    assert (
+        lazy.metrics["engine.compaction_write_kb"]
+        > tiering.metrics["engine.compaction_write_kb"]
+    )
+    assert lazy.stall_seconds > tiering.stall_seconds
+    assert tiering.mean_hit_ratio() > lazy.mean_hit_ratio()
+    # The compaction buffer recovers cache effectiveness on the layout
+    # that suffers most — the LSbM mechanism generalizes beyond bLSM.
+    assert (
+        runs["lazy-leveling+buffer"].mean_hit_ratio()
+        > lazy.mean_hit_ratio()
+    )

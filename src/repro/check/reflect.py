@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.core.lsbm import LSbMTree
 from repro.errors import ReproError
 from repro.lsm.blsm import BLSMTree
+from repro.lsm.composed import ComposedTree
 from repro.lsm.leveldb import LevelDBTree
 from repro.lsm.sm_tree import SMTree
 from repro.sstable.sstable import SSTableFile
@@ -62,6 +63,12 @@ def live_files(engine) -> dict[int, SSTableFile]:
         for level in range(1, e.num_levels + 1):
             for table in e.levels[level]:
                 add(table)
+    elif isinstance(e, ComposedTree):
+        for level in range(1, e.num_levels + 1):
+            for table in e.levels[level]:
+                add(table)
+        for buffer_level in e._buffer_levels:
+            add(buffer_level.live_files())
     elif isinstance(e, HBaseStyleStore):
         for table in e.tables:
             add(table)

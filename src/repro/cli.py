@@ -220,9 +220,31 @@ def _replica_json(outcome, cell) -> dict:
     return dict(cell.to_json_dict(), replicas=replicas)
 
 
-def cmd_engines(_args: argparse.Namespace) -> int:
-    for name in ENGINE_NAMES:
-        print(name)
+def cmd_engines(args: argparse.Namespace) -> int:
+    from repro.sim.experiment import ENGINE_SPECS
+
+    if getattr(args, "json", False):
+        entries = [
+            {
+                "name": spec.name,
+                "wiring": spec.wiring,
+                "summary": spec.summary,
+                "axes": spec.axes.to_dict() if spec.axes else None,
+            }
+            for spec in ENGINE_SPECS.values()
+        ]
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            spec.name,
+            spec.axes.describe() if spec.axes else "from config",
+            spec.wiring,
+            spec.summary,
+        ]
+        for spec in ENGINE_SPECS.values()
+    ]
+    print(ascii_table(["engine", "design point", "wiring", "summary"], rows))
     return 0
 
 
@@ -448,6 +470,99 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"with jobs={outcome.jobs} "
         f"(serial estimate {outcome.serial_estimate_s:.1f}s, "
         f"speedup {outcome.speedup:.2f}x)"
+    )
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Search the compaction design space for an SLO objective."""
+    from repro.sim.tune import OBJECTIVES, run_tune
+
+    names = [name.strip() for name in args.engines.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ENGINE_NAMES]
+    if unknown:
+        print(f"unknown engines: {unknown}; see `engines`", file=sys.stderr)
+        return 2
+    try:
+        seeds = _parse_seeds(args.seeds)
+        axes = dict(_parse_axis(setting) for setting in args.set or [])
+    except (ConfigError, ValueError) as error:
+        print(f"tune: {error}", file=sys.stderr)
+        return 2
+    cells = len(names)
+    for values in axes.values():
+        cells *= len(values)
+    print(
+        f"tune: objective={args.objective}, {cells} candidates × "
+        f"{len(seeds)} seeds with jobs={args.jobs}",
+        file=sys.stderr,
+    )
+    try:
+        outcome = run_tune(
+            names,
+            seeds,
+            args.objective,
+            axes=axes,
+            scale=args.scale,
+            duration_s=args.duration,
+            jobs=args.jobs,
+            rate_qps=args.rate,
+            policy=args.policy,
+        )
+    except ConfigError as error:
+        print(f"tune: {error}", file=sys.stderr)
+        return 2
+    payload = outcome.to_payload(args.name)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"tune payload written to {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    direction, description = OBJECTIVES[args.objective]
+    rows = [
+        [
+            str(rank + 1),
+            candidate.key,
+            f"{candidate.score:.4g}",
+            f"{candidate.evidence['hit_floor']:.3f}",
+            f"{candidate.evidence['hit_dips']:.1f}",
+            f"{candidate.evidence['stall_seconds']:.1f}",
+            f"{candidate.stats['latency_p99_ms']['mean']:.2f}",
+        ]
+        for rank, candidate in enumerate(outcome.candidates)
+    ]
+    print(f"objective: {args.objective} ({direction}) — {description}")
+    print(ascii_table(
+        ["rank", "candidate", "score", "hit floor", "dips",
+         "stall s", "p99 ms"],
+        rows,
+    ))
+    explanation = outcome.explanation()
+    print(f"\nwinner: {outcome.winner.key}")
+    print(explanation["summary"])
+    deltas = explanation.get("deltas", {})
+    if deltas:
+        print(ascii_table(
+            ["evidence", "winner", "runner-up", "advantage"],
+            [
+                [
+                    name,
+                    f"{entry['winner']:.4g}",
+                    f"{entry['runner_up']:.4g}",
+                    f"{entry['advantage']:+.4g}",
+                ]
+                for name, entry in deltas.items()
+            ],
+        ))
+    sweep = outcome.sweep
+    print(
+        f"\n{len(sweep.outcomes)} runs in {sweep.wall_clock_s:.1f}s "
+        f"with jobs={sweep.jobs} "
+        f"(serial estimate {sweep.serial_estimate_s:.1f}s, "
+        f"speedup {sweep.speedup:.2f}x)"
     )
     return 0
 
@@ -1354,6 +1469,10 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     engines = commands.add_parser("engines", help="list engine variants")
+    engines.add_argument(
+        "--json", action="store_true",
+        help="print the engine catalog as JSON (name, wiring, axes)",
+    )
     engines.set_defaults(func=cmd_engines)
 
     run = commands.add_parser("run", help="run one engine, print its series")
@@ -1459,6 +1578,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the payload plus one lossless JSON per run here",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    tune = commands.add_parser(
+        "tune",
+        help="search the compaction design space for an SLO objective",
+    )
+    tune.add_argument(
+        "--engines",
+        default="design",
+        help="comma-separated candidate engines (default: design, whose "
+        "axes come from --set compaction_* overrides)",
+    )
+    tune.add_argument(
+        "--objective",
+        choices=("p99", "hit-stability"),
+        default="hit-stability",
+        help="SLO to optimize: open-loop read p99 (min) or the "
+        "hit-ratio floor (max; default)",
+    )
+    tune.add_argument(
+        "--seeds",
+        default="0",
+        help="comma-separated seeds replicated per candidate (default 0)",
+    )
+    tune.add_argument(
+        "--set",
+        action="append",
+        metavar="FIELD=V1,V2",
+        help="add a candidate axis, e.g. "
+        "--set compaction_layout=tiering,lazy-leveling "
+        "(repeatable; axes multiply)",
+    )
+    tune.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (the winner is jobs-independent)",
+    )
+    tune.add_argument(
+        "--scale",
+        type=int,
+        default=2048,
+        help="linear size scale vs the paper's setup (default 2048)",
+    )
+    tune.add_argument(
+        "--duration",
+        type=int,
+        default=8000,
+        help="virtual seconds per run (paper: 20000)",
+    )
+    tune.add_argument(
+        "--rate",
+        type=float,
+        default=2000.0,
+        help="offered read rate for the p99 objective (default 2000 QPS)",
+    )
+    tune.add_argument(
+        "--policy",
+        default="fifo",
+        help="scheduler policy for the p99 objective (default fifo)",
+    )
+    tune.add_argument(
+        "--name",
+        default="design_space",
+        help="payload name (default design_space)",
+    )
+    tune.add_argument(
+        "--json",
+        action="store_true",
+        help="print the bench-schema payload as JSON",
+    )
+    tune.add_argument(
+        "--out", help="write the bench-schema payload to this file"
+    )
+    tune.set_defaults(func=cmd_tune)
 
     serve = commands.add_parser(
         "serve",

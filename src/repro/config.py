@@ -105,6 +105,27 @@ class SystemConfig:
     freeze_duplicate_fraction: float = 0.3
 
     # ------------------------------------------------------------------
+    # Compaction design space (Sarkar et al.; see repro.lsm.policy).
+    # The four axes are read by the config-driven ``design`` engine (and
+    # any named point built on :class:`~repro.lsm.composed.ComposedTree`
+    # without explicit axes); the legacy engine classes are fixed points
+    # in the same space and ignore these fields.  All four are ordinary
+    # sweepable fields (``repro sweep --set compaction_layout=...``).
+    # ------------------------------------------------------------------
+    compaction_trigger: str = "size-ratio"
+    compaction_layout: str = "leveling"
+    compaction_granularity: str = "partial"
+    compaction_movement: str = "merge"
+
+    # ------------------------------------------------------------------
+    # HBase-style store: virtual seconds between periodic major
+    # compactions (0 disables them — the configuration the paper's
+    # related-work discussion warns about).  A plain config field so it
+    # is reachable as a sweep axis like everything else.
+    # ------------------------------------------------------------------
+    major_interval_s: int = 5_000
+
+    # ------------------------------------------------------------------
     # Durability.  The paper's evaluation never crashes the system, so
     # the write-ahead log defaults off to keep the calibrated compaction
     # traffic identical to the paper's accounting; production deployments
@@ -343,6 +364,18 @@ class SystemConfig:
             raise ConfigError("trim_threshold must be in (0, 1]")
         if not 0.0 <= self.freeze_duplicate_fraction <= 1.0:
             raise ConfigError("freeze_duplicate_fraction must be in [0, 1]")
+        # Deferred import: policy sits above config in the layering, but
+        # it is the single source of truth for the axis vocabulary.
+        from repro.lsm.policy import CompactionAxes
+
+        CompactionAxes(
+            trigger=self.compaction_trigger,
+            layout=self.compaction_layout,
+            granularity=self.compaction_granularity,
+            movement=self.compaction_movement,
+        )
+        if self.major_interval_s < 0:
+            raise ConfigError("major_interval_s must be >= 0 (0 disables)")
         if self.seq_bandwidth_kb_per_s <= 0:
             raise ConfigError("sequential bandwidth must be positive")
         if self.ops_scale < 1.0:

@@ -26,6 +26,7 @@ from repro.cache.os_cache import OSBufferCache
 from repro.config import SystemConfig
 from repro.errors import EngineError
 from repro.lsm.memtable import Memtable
+from repro.lsm.policy import CompactionAxes, CompactionPolicy
 from repro.lsm.wal import WriteAheadLog
 from repro.obs.events import (
     CompactionEnd,
@@ -396,9 +397,26 @@ class LSMEngine(ABC):
                 self.stats.stall_seconds += stall_s
         self._apply_pending_wal_truncate()
 
-    @abstractmethod
+    #: The engine's :class:`~repro.lsm.policy.CompactionPolicy` — the
+    #: declarative design-space point whose control flow drives this
+    #: engine's compaction passes.  Every concrete engine assigns one in
+    #: its constructor; the policy calls back into engine hooks for the
+    #: mechanism (flush, merge, install, accounting).
+    policy: CompactionPolicy | None = None
+
     def _do_compactions(self) -> None:
-        """Engine-specific compaction pass (wrapped by run_compactions)."""
+        """One compaction pass: delegate to the engine's policy."""
+        policy = self.policy
+        if policy is None:
+            raise EngineError(
+                f"{type(self).__name__} assigned no compaction policy"
+            )
+        policy.run(self)
+
+    @property
+    def compaction_axes(self) -> CompactionAxes | None:
+        """The design-space point this engine realizes (None if unset)."""
+        return self.policy.axes if self.policy is not None else None
 
     @abstractmethod
     def bulk_load(self, entries: list[Entry]) -> None:

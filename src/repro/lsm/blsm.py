@@ -20,6 +20,7 @@ from bisect import bisect_left
 from repro.bloom.hashing import probe_mask
 from repro.errors import EngineError
 from repro.lsm.base import GetResult, LSMEngine, MergeOutcome, ReadCost, ScanResult
+from repro.lsm.policy import GearPolicy
 from repro.sstable.block import _shared_filter
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries
@@ -57,6 +58,10 @@ class BLSMTree(LSMEngine):
         ]
         #: C0' — the flushed, on-disk image of the write buffer.
         self.c0_prime = SortedTable()
+        #: bLSM's design point.  Subclasses that flip the data-movement
+        #: axis through the gear hooks (LSbM) reassign this with the
+        #: matching axes.
+        self.policy = GearPolicy()
         self._rebuild_descent()
 
     def _rebuild_descent(self) -> None:
@@ -93,8 +98,10 @@ class BLSMTree(LSMEngine):
         return self.level_total_kb(0) / self.config.level0_size_kb
 
     # ------------------------------------------------------------------
-    # The gear scheduler (Algorithm 1's control flow, without the
-    # compaction-buffer lines — LSbM adds those by overriding hooks).
+    # The gear scheduler.  Algorithm 1's control flow lives in
+    # :class:`~repro.lsm.policy.GearPolicy`; the hooks below are the
+    # mechanism it drives (and the seam LSbM overrides to add the
+    # compaction-buffer lines).
     # ------------------------------------------------------------------
     def run_compactions(self) -> None:
         # Fast path for the by-far common case: level 0 is below S0, so a
@@ -109,32 +116,6 @@ class BLSMTree(LSMEngine):
         ):
             return
         super().run_compactions()
-
-    def _do_compactions(self) -> None:
-        while self.level_total_kb(0) >= self.config.level0_size_kb:
-            if not self._one_pass():
-                break
-
-    def _one_pass(self) -> bool:
-        """One gear pass: compact one unit at every full level in the prefix.
-
-        Returns whether any unit moved (guards against livelock when the
-        write buffer alone exceeds S0 but holds nothing flushable).
-        """
-        progressed = False
-        for level in range(self.num_levels):  # i from 0 to k-1.
-            if self.level_total_kb(level) < self.config.level_capacity_kb(level):
-                break
-            source = self._source(level)
-            if not source:
-                self._rotate(level)
-                source = self._source(level)
-            if not source:
-                break  # Nothing materialized (e.g. an empty memtable).
-            unit = self._pop_unit(source)
-            self._compact_unit(level, unit)
-            progressed = True
-        return progressed
 
     def _rotate(self, level: int) -> None:
         """Start a merge round: move Ci into Ci' (flush C0 for level 0)."""

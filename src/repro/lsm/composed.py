@@ -1,0 +1,511 @@
+"""The generic design-space engine: any axis combination, one tree.
+
+The legacy engine classes each realize *one* point of the Sarkar
+compaction design space (see :mod:`repro.lsm.policy`).  ComposedTree
+interprets an arbitrary :class:`~repro.lsm.policy.CompactionAxes` value
+instead, so the sweep and tune layers can explore points the paper's
+baselines never shipped — tiering with partial merges, lazy-leveling,
+and any of them combined with the LSbM compaction buffer
+(``movement="lazy-adoption"``).
+
+Data layout is uniform: ``levels[1..k]`` each hold a list of sorted
+tables, oldest first.  Under ``leveling`` every level is pinned to a
+single run (one table); under ``tiering`` every level holds up to
+``size_ratio`` independent tables; ``lazy-leveling`` mixes the two —
+tiering everywhere except a single-run last level.
+
+Movement ``lazy-adoption`` generalizes LSbM's buffered merge beyond the
+gear scheduler: every merge's input files are *re-referenced* into a
+per-level :class:`~repro.core.compaction_buffer.BufferLevel` instead of
+being deleted, and point reads check the buffer (newest table first)
+before the level's own tables, falling back to the tree the moment a
+removed-file marker covers the key — the same safety rule as LSbM's
+Algorithm 3.  Three things keep the buffer honest:
+
+* the periodic :class:`~repro.core.trim.TrimProcess` removes files whose
+  cached-block fraction fell below the threshold (Algorithm 2);
+* per level, the buffer is bounded both by the level's capacity and by a
+  table-count cap (``size_ratio`` tables), evicting oldest-first —
+  evicting or pruning only the *oldest* table is what makes dropping its
+  removed markers safe: no older table remains that a stopped search
+  could incorrectly fall through to;
+* the in-place collapse of a tiering last level never adopts (it is a
+  rewrite of the level onto itself, not data newly arriving at a level).
+
+Range scans bypass the buffer entirely and read the level tables — the
+buffer holds copies, so the tables alone are always complete.  This is a
+deliberate simplification versus LSbM's Algorithm 4 (scans there can be
+served from buffered blocks); the differential tests in
+``tests/test_design_space.py`` hold the whole engine to the KVOracle
+regardless of axes.
+"""
+
+from __future__ import annotations
+
+from repro.core.compaction_buffer import BufferLevel
+from repro.core.trim import TrimProcess
+from repro.lsm.base import (
+    GetResult,
+    LSMEngine,
+    ReadCost,
+    ScanResult,
+    compaction_cause,
+)
+from repro.lsm.policy import CompactionAxes, ComposedPolicy
+from repro.obs.events import CompactionEnd, CompactionStart, FileDiscarded
+from repro.sstable.entry import Entry
+from repro.sstable.iterator import merge_entries, merge_with_obsolete_count
+from repro.sstable.sorted_table import SortedTable
+from repro.sstable.sstable import SSTableFile
+
+
+class ComposedTree(LSMEngine):
+    """An LSM engine assembled from declarative compaction axes."""
+
+    name = "design"
+
+    def __init__(
+        self,
+        config=None,
+        clock=None,
+        disk=None,
+        db_cache=None,
+        os_cache=None,
+        axes: CompactionAxes | None = None,
+        *,
+        substrate=None,
+    ) -> None:
+        super().__init__(
+            config, clock, disk, db_cache, os_cache, substrate=substrate
+        )
+        #: The design point; defaults to the config's four axis fields.
+        self.axes = axes if axes is not None else CompactionAxes.from_config(
+            self.config
+        )
+        self.num_levels = self.config.num_disk_levels
+        #: levels[1..k]: sorted tables, oldest first.  A single-run level
+        #: always holds exactly one table; index 0 is unused.
+        self.levels: list[list[SortedTable]] = [
+            [SortedTable()] if self._single_run(level) else []
+            for level in range(self.num_levels + 1)
+        ]
+        #: Per-level key cursor for leveling + partial granularity
+        #: (LevelDB-style round-robin through the key space).
+        self._cursor: dict[int, int | None] = {
+            i: None for i in range(1, self.num_levels)
+        }
+        self.policy = ComposedPolicy(self.axes)
+        self.buffer_files_appended = 0
+        self.buffer_files_removed = 0
+        if self.axes.movement == "lazy-adoption":
+            #: buffer[1..k]; index 0 unused (level 0 lives in DRAM).
+            self.buffer: list[BufferLevel] = [
+                BufferLevel(level) for level in range(self.num_levels + 1)
+            ]
+            self._buffer_levels = self.buffer[1:]
+            #: Per-level cap on completed buffer tables: bounds the extra
+            #: index probes a point read pays at ~one tiering level.
+            self._buffer_max_tables = self.config.size_ratio
+            # Zero-I/O causes, reported explicitly (paper's claim).
+            self.disk.record_cause("buffer-append")
+            self.disk.record_cause("trim")
+            self.trim: TrimProcess | None = TrimProcess(
+                self.config,
+                cached_blocks=self._cached_blocks_of,
+                remove_file=self._remove_buffer_file,
+                bus=self.bus,
+            )
+        else:
+            self._buffer_levels = []
+            self.trim = None
+
+    # ------------------------------------------------------------------
+    # Layout queries.
+    # ------------------------------------------------------------------
+    def _single_run(self, level: int) -> bool:
+        """Is ``level`` pinned to one sorted run under the layout axis?"""
+        layout = self.axes.layout
+        if layout == "leveling":
+            return True
+        if layout == "lazy-leveling":
+            return level == self.num_levels
+        return False
+
+    def level_size_kb(self, level: int) -> int:
+        return sum(table.size_kb for table in self.levels[level])
+
+    # ------------------------------------------------------------------
+    # Compaction mechanism (control flow in ComposedPolicy).
+    # ------------------------------------------------------------------
+    def run_compactions(self) -> None:
+        # Fast path (same reasoning as LevelDB's): a pass only ever
+        # starts from a full memtable — the policy's per-level drains
+        # complete inside the pass — and the WAL-truncate check only
+        # matters right after a flush.
+        if (
+            self.memtable.size_kb < self.config.level0_size_kb
+            and not self._pending_wal_truncate_seq
+        ):
+            return
+        super().run_compactions()
+
+    def _flush_pass(self) -> None:
+        """Flush the write buffer into level 1 per the layout axis."""
+        files = self._flush_memtable_to_files()
+        if not files:
+            return
+        if self._single_run(1):
+            adopt = self.axes.movement == "lazy-adoption"
+            run = self.levels[1][0]
+            last = self.num_levels == 1
+            for file in files:
+                self._merge_into_run(
+                    [file], run, last_level=last,
+                    dispose_sources=not adopt, level=0,
+                )
+            if adopt:
+                self._adopt(1, files)
+        else:
+            self.levels[1].append(SortedTable(files))
+
+    def _compact_level_once(self, level: int) -> bool:
+        """Move one granularity-sized unit from ``level`` down.
+
+        Returns whether anything moved (guards the policy's drain loop).
+        """
+        full = self.axes.granularity == "full-level"
+        if self._single_run(level):
+            run = self.levels[level][0]
+            if not run:
+                return False
+            if full:
+                groups = [run.files]
+                self.levels[level][0] = SortedTable()
+            else:
+                file = self._pick_by_cursor(level)
+                self._cursor[level] = file.max_key
+                run.remove(file)
+                groups = [[file]]
+        else:
+            tables = self.levels[level]
+            if not tables:
+                return False
+            # Oldest-first: full granularity takes the whole level,
+            # partial takes the two oldest tables (the classic tiered
+            # "merge the oldest runs" increment).
+            count = len(tables) if full else min(2, len(tables))
+            picked, self.levels[level] = tables[:count], tables[count:]
+            groups = [table.files for table in picked]
+        self._move_down(level, groups)
+        return True
+
+    def _pick_by_cursor(self, level: int) -> SSTableFile:
+        """LevelDB's round-robin pick inside a single-run level."""
+        files = self.levels[level][0].files
+        cursor = self._cursor[level]
+        if cursor is not None:
+            for file in files:
+                if file.min_key > cursor:
+                    return file
+        return files[0]  # Wrap around the key space.
+
+    def _move_down(self, level: int, groups: list[list[SSTableFile]]) -> None:
+        """Merge file ``groups`` (one per source table) into ``level + 1``.
+
+        The movement axis decides the inputs' fate: ``merge`` disposes
+        them inside the merge; ``lazy-adoption`` re-references them into
+        the target level's compaction buffer — group by group, because
+        files from *different* source tables may overlap and a buffer
+        table must stay a sorted, non-overlapping run.
+        """
+        target = level + 1
+        adopt = self.axes.movement == "lazy-adoption"
+        sources = [file for group in groups for file in group]
+        if self._single_run(target):
+            self._merge_into_run(
+                sources,
+                self.levels[target][0],
+                last_level=target == self.num_levels,
+                dispose_sources=not adopt,
+                level=level,
+            )
+        else:
+            self._merge_to_new_table(level, sources, dispose=not adopt)
+        if adopt:
+            for group in groups:
+                self._adopt(target, group)
+
+    def _merge_to_new_table(
+        self, level: int, input_files: list[SSTableFile], dispose: bool
+    ) -> None:
+        """Merge ``input_files`` into one fresh table at ``level + 1``.
+
+        The tiering move: the target level's existing tables are not
+        read.  Tombstones are kept — the new table lands *next to* other
+        tables, and one of those can still hold an older live version of
+        a deleted key (the SM-tree's resurrection hazard).
+        """
+        input_kb = float(sum(f.size_kb for f in input_files))
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionStart)
+            else:
+                bus.emit(
+                    CompactionStart(
+                        level=level,
+                        input_files=len(input_files),
+                        input_kb=input_kb,
+                        kind="tier",
+                    )
+                )
+        sources = [f.entry_list() for f in input_files]
+        merged, obsolete = merge_with_obsolete_count(
+            sources, drop_tombstones=False
+        )
+        cause = compaction_cause(level)
+        self._charge_compaction_read(input_files, cause=cause)
+        new_files = self.builder.build(iter(merged), cause=cause)
+        self._on_compaction_output(new_files)
+        output_kb = float(sum(f.size_kb for f in new_files))
+        self.disk.note_temp_space(input_kb)
+        if new_files:
+            self.levels[level + 1].append(SortedTable(new_files))
+        if dispose:
+            for file in input_files:
+                self._discard_file(file)
+        self._account_compaction(input_kb, output_kb, obsolete)
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionEnd)
+            else:
+                bus.emit(
+                    CompactionEnd(
+                        level=level,
+                        read_kb=input_kb,
+                        write_kb=output_kb,
+                        output_files=len(new_files),
+                        obsolete_entries=obsolete,
+                        kind="tier",
+                    )
+                )
+
+    def _collapse_last_level(self) -> None:
+        """Merge the tiering last level into one table, in place.
+
+        The only tombstone-dropping moment for multi-run last levels.
+        Inputs are always disposed, whatever the movement axis: this is
+        a rewrite of the level onto itself, not data arriving at a new
+        level, so adopting would buffer bytes whose hotness the rewrite
+        preserves anyway.
+        """
+        level = self.num_levels
+        tables = self.levels[level]
+        input_files = [f for table in tables for f in table.files]
+        if not input_files:
+            return
+        input_kb = float(sum(f.size_kb for f in input_files))
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionStart)
+            else:
+                bus.emit(
+                    CompactionStart(
+                        level=level,
+                        input_files=len(input_files),
+                        input_kb=input_kb,
+                        kind="collapse",
+                    )
+                )
+        sources = [f.entry_list() for f in input_files]
+        merged, obsolete = merge_with_obsolete_count(
+            sources, drop_tombstones=True
+        )
+        cause = compaction_cause(level)
+        self._charge_compaction_read(input_files, cause=cause)
+        new_files = self.builder.build(iter(merged), cause=cause)
+        self._on_compaction_output(new_files)
+        output_kb = float(sum(f.size_kb for f in new_files))
+        self.disk.note_temp_space(input_kb)
+        self.levels[level] = [SortedTable(new_files)] if new_files else []
+        for file in input_files:
+            self._discard_file(file)
+        self._account_compaction(input_kb, output_kb, obsolete)
+        if bus.active:
+            if bus.counting_only:
+                bus.count(CompactionEnd)
+            else:
+                bus.emit(
+                    CompactionEnd(
+                        level=level,
+                        read_kb=input_kb,
+                        write_kb=output_kb,
+                        output_files=len(new_files),
+                        obsolete_entries=obsolete,
+                        kind="collapse",
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Lazy adoption: the compaction buffer generalized beyond the gear.
+    # ------------------------------------------------------------------
+    def _adopt(self, level: int, files: list[SSTableFile]) -> None:
+        """Re-reference one merge group into ``buffer[level]``'s Bi^0.
+
+        Within a group files are key-ordered, but *across* calls (e.g.
+        a wrapped compaction cursor) they need not be — an overlap with
+        the incoming tail closes it and opens a fresh one.
+        """
+        buf = self.buffer[level]
+        for file in files:
+            tail = buf.incoming.max_key
+            if tail is not None and file.min_key <= tail:
+                buf.finalize_incoming()
+            buf.incoming.append(file)
+            self.buffer_files_appended += 1
+
+    def _seal_adoptions(self) -> None:
+        """End-of-pass buffer upkeep: close Bi^0, enforce the bounds."""
+        for buf in self._buffer_levels:
+            buf.finalize_incoming()
+            self._enforce_buffer_bounds(buf)
+
+    def _enforce_buffer_bounds(self, buf: BufferLevel) -> None:
+        """Capacity + table-count bound, evicting oldest tables whole.
+
+        Only ever the oldest table goes: with no older table left behind
+        it, dropping its removed markers cannot expose a stale version
+        to a newest-first search.
+        """
+        capacity = self.config.level_capacity_kb(buf.level)
+        tables = buf.tables
+        while tables and (
+            buf.live_kb > capacity or len(tables) > self._buffer_max_tables
+        ):
+            for file in tables.pop():
+                if not file.removed:
+                    self._remove_buffer_file(file)
+
+    def _prune_removed_tails(self) -> None:
+        """Drop fully-trimmed oldest buffer tables (markers and all)."""
+        for buf in self._buffer_levels:
+            tables = buf.tables
+            while tables and all(file.removed for file in tables[-1]):
+                tables.pop()
+
+    def _cached_blocks_of(self, file_id: int) -> int:
+        if self.db_cache is None:
+            return 0
+        return self.db_cache.cached_blocks(file_id)
+
+    def _remove_buffer_file(self, file: SSTableFile) -> None:
+        """Free a buffer file; its key-range marker stays in its table."""
+        if self.db_cache is not None:
+            self.db_cache.invalidate_file(file.file_id)
+        self.disk.free(file.extent)
+        file.mark_removed()
+        self.buffer_files_removed += 1
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(FileDiscarded)
+            else:
+                bus.emit(
+                    FileDiscarded(
+                        file_id=file.file_id,
+                        size_kb=file.size_kb,
+                        reason="buffer",
+                    )
+                )
+
+    @property
+    def compaction_buffer_kb(self) -> int | None:
+        if not self._buffer_levels:
+            return None
+        return sum(buf.total_live_kb for buf in self._buffer_levels)
+
+    def tick(self, now: int) -> None:
+        super().tick(now)
+        if self.trim is not None:
+            self.trim.maybe_run(now, self._buffer_levels)
+            self._prune_removed_tails()
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> GetResult:
+        self._check_open()
+        self.stats.gets += 1
+        cost = ReadCost()
+        cost.memtable_probes += 1
+        entry = self.memtable.get(key)
+        if entry is not None:
+            return self._make_entry_result(entry, cost)
+        buffered = bool(self._buffer_levels)
+        for level in range(1, self.num_levels + 1):
+            # Buffer first: its newest table holds the freshest copy of
+            # whatever was last merged into this level, likely still
+            # cache-resident.  A removed marker stops the buffer check
+            # and the level's own tables answer (Algorithm 3's rule).
+            if buffered:
+                entry = self._search_buffer_tables(
+                    self.buffer[level].tables, key, cost
+                )
+                if entry is not None:
+                    return self._make_entry_result(entry, cost)
+            for table in reversed(self.levels[level]):  # Newest first.
+                entry = self._search_table(table, key, cost)
+                if entry is not None:
+                    return self._make_entry_result(entry, cost)
+        return GetResult(False, None, cost)
+
+    def _search_buffer_tables(
+        self, tables: list[SortedTable], key: int, cost: ReadCost
+    ) -> Entry | None:
+        """Newest-table-first probe of one level's completed buffer lists.
+
+        A removed marker covering the key ends the whole check: the
+        newest buffered version might have been in the removed file, so
+        only the level's own tables can answer safely.
+        """
+        for table in tables:
+            file = table.find_file(key)
+            if file is None:
+                continue
+            if file.removed:
+                return None
+            entry = self._probe_file(file, key, cost)
+            if entry is not None:
+                return entry
+        return None
+
+    def scan(self, low: int, high: int) -> ScanResult:
+        self._check_open()
+        self.stats.scans += 1
+        cost = ReadCost()
+        sources: list[list[Entry]] = [self.memtable.entries_in_range(low, high)]
+        for level in range(1, self.num_levels + 1):
+            for table in self.levels[level]:
+                overlapping = table.files_overlapping(low, high)
+                if not overlapping:
+                    continue
+                cost.tables_checked += 1
+                sources.extend(
+                    self._scan_table_files(overlapping, low, high, cost)
+                )
+        entries = [e for e in merge_entries(sources) if not e.is_tombstone]  # type: ignore[arg-type]
+        return ScanResult(entries, cost)
+
+    # ------------------------------------------------------------------
+    # Bulk loading.
+    # ------------------------------------------------------------------
+    def bulk_load(self, entries: list[Entry]) -> None:
+        files = self.builder.build(iter(entries), cause="preload")
+        last = self.num_levels
+        if self._single_run(last):
+            for file in files:
+                self.levels[last][0].append(file)
+        else:
+            self.levels[last].append(SortedTable(files))
+        self._seq = max(self._seq, max((e.seq for e in entries), default=0))

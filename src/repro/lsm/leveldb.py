@@ -16,11 +16,11 @@ from bisect import bisect_left
 
 from repro.bloom.hashing import probe_mask
 from repro.lsm.base import GetResult, LSMEngine, ReadCost, ScanResult
+from repro.lsm.policy import LeveledCursorPolicy
 from repro.sstable.block import _shared_filter
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries
 from repro.sstable.sorted_table import SortedTable
-from repro.sstable.sstable import SSTableFile
 
 
 class LevelDBTree(LSMEngine):
@@ -46,19 +46,18 @@ class LevelDBTree(LSMEngine):
         self.levels: list[SortedTable] = [
             SortedTable() for _ in range(self.num_levels + 1)
         ]
-        #: Per-level compaction cursor: max key of the last compacted file.
-        self._cursor: dict[int, int | None] = {
-            i: None for i in range(1, self.num_levels)
-        }
+        #: LevelDB's design point; the policy owns the compaction cursor.
+        self.policy = LeveledCursorPolicy(self.num_levels)
 
     # ------------------------------------------------------------------
-    # Compactions.
+    # Compactions (control flow in LeveledCursorPolicy; mechanism here).
     # ------------------------------------------------------------------
     def run_compactions(self) -> None:
         # Fast path: a pass only ever starts from a full memtable (the
-        # per-level drains below always run to completion inside the same
-        # pass), stalls share that threshold, and the WAL-truncate marker
-        # is only non-zero inside a pass — so below S0 this is a no-op.
+        # per-level drains the policy runs always complete inside the
+        # same pass), stalls share that threshold, and the WAL-truncate
+        # marker is only non-zero inside a pass — so below S0 this is a
+        # no-op.
         if (
             self.memtable.size_kb < self.config.level0_size_kb
             and not self._pending_wal_truncate_seq
@@ -66,39 +65,12 @@ class LevelDBTree(LSMEngine):
             return
         super().run_compactions()
 
-    def _do_compactions(self) -> None:
-        if self.memtable.size_kb >= self.config.level0_size_kb:
-            self._flush_and_merge_into_c1()
-        for level in range(1, self.num_levels):
-            capacity = self.config.level_capacity_kb(level)
-            while self.levels[level].size_kb > capacity:
-                self._compact_one_file(level)
-
     def _flush_and_merge_into_c1(self) -> None:
         """Drain C0 to disk and merge the run into C1 file by file."""
         run_files = self._flush_memtable_to_files()
         last = self.num_levels == 1
         for file in run_files:
             self._merge_into_run([file], self.levels[1], last_level=last, level=0)
-
-    def _compact_one_file(self, level: int) -> None:
-        """Move one file from ``level`` to ``level + 1`` (cursor order)."""
-        file = self._pick_by_cursor(level)
-        self._cursor[level] = file.max_key
-        self.levels[level].remove(file)
-        last = level + 1 == self.num_levels
-        self._merge_into_run(
-            [file], self.levels[level + 1], last_level=last, level=level
-        )
-
-    def _pick_by_cursor(self, level: int) -> SSTableFile:
-        files = self.levels[level].files
-        cursor = self._cursor[level]
-        if cursor is not None:
-            for file in files:
-                if file.min_key > cursor:
-                    return file
-        return files[0]  # Wrap around the key space.
 
     # ------------------------------------------------------------------
     # Queries.

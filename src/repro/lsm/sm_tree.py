@@ -26,6 +26,7 @@ from repro.lsm.base import (
     ScanResult,
     compaction_cause,
 )
+from repro.lsm.policy import SteppedMergePolicy
 from repro.obs.events import CompactionEnd, CompactionStart
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries, merge_with_obsolete_count
@@ -55,6 +56,8 @@ class SMTree(LSMEngine):
         self.levels: list[list[SortedTable]] = [
             [] for _ in range(self.num_levels + 1)
         ]
+        #: The SM-tree's design point (control flow lives in the policy).
+        self.policy = SteppedMergePolicy()
 
     # ------------------------------------------------------------------
     # Sizes.
@@ -63,16 +66,8 @@ class SMTree(LSMEngine):
         return sum(table.size_kb for table in self.levels[level])
 
     # ------------------------------------------------------------------
-    # Compactions (lazy stepped merges).
+    # Compactions (lazy stepped merges, driven by SteppedMergePolicy).
     # ------------------------------------------------------------------
-    def _do_compactions(self) -> None:
-        if self.memtable.size_kb >= self.config.level0_size_kb:
-            files = self._flush_memtable_to_files()
-            self.levels[1].append(SortedTable(files))
-        for level in range(1, self.num_levels + 1):
-            if self.level_size_kb(level) >= self.config.level_capacity_kb(level):
-                self._merge_whole_level(level)
-
     def _merge_whole_level(self, level: int) -> None:
         """Merge every table of ``level`` into one table one level down.
 

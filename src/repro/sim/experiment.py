@@ -25,7 +25,9 @@ from repro.config import SystemConfig
 from repro.core.lsbm import LSbMTree
 from repro.errors import ConfigError
 from repro.lsm.blsm import BLSMTree
+from repro.lsm.composed import ComposedTree
 from repro.lsm.leveldb import LevelDBTree
+from repro.lsm.policy import CompactionAxes
 from repro.lsm.sm_tree import SMTree
 from repro.clock import VirtualClock
 from repro.obs.prof import DEFAULT_SAMPLE_EVERY, SpanProfiler
@@ -63,12 +65,59 @@ class EngineSpec:
     * ``"self"`` — no caches up front: the engine carves its own cache
       hierarchy out of a bare substrate (the K-V cached variant) and the
       setup adopts the engine's ``db_cache``/``substrate``.
+
+    ``axes`` names the variant's point in the compaction design space.
+    Legacy engines are *fixed* points (their policies hardcode the
+    axes); the composed variants are built from the axes stated here;
+    ``None`` means the point is dynamic — the ``design`` engine reads
+    its axes from the config's ``compaction_*`` fields at build time.
     """
 
     name: str
     factory: Callable[[Substrate], object]
     wiring: str = "db"
     summary: str = ""
+    axes: CompactionAxes | None = None
+
+
+#: Fixed design-space points of the legacy families (the wrapper
+#: variants — warm-up, K-V cache, dual wiring — share their base
+#: engine's point; what differs is the cache stack, not compaction).
+_LEVELED_CURSOR = CompactionAxes(
+    trigger="size-ratio", layout="leveling", granularity="partial",
+    movement="merge",
+)
+_LEVELED_ADOPTING = CompactionAxes(
+    trigger="size-ratio", layout="leveling", granularity="partial",
+    movement="lazy-adoption",
+)
+_STEPPED_MERGE = CompactionAxes(
+    trigger="size-ratio", layout="tiering", granularity="full-level",
+    movement="merge",
+)
+_FLAT_STORE = CompactionAxes(
+    trigger="level-saturation", layout="tiering", granularity="partial",
+    movement="merge",
+)
+#: The composed variants' points: tiering with incremental oldest-pair
+#: merges (distinct from the SM-tree's whole-level gear) and Dostoevsky
+#: style lazy-leveling, each with and without the compaction buffer.
+_TIERING = CompactionAxes(
+    trigger="size-ratio", layout="tiering", granularity="partial",
+    movement="merge",
+)
+_TIERING_BUFFERED = CompactionAxes(
+    trigger="size-ratio", layout="tiering", granularity="partial",
+    movement="lazy-adoption",
+)
+_LAZY_LEVELING = CompactionAxes(
+    trigger="size-ratio", layout="lazy-leveling", granularity="full-level",
+    movement="merge",
+)
+_LAZY_LEVELING_BUFFERED = CompactionAxes(
+    trigger="size-ratio", layout="lazy-leveling", granularity="full-level",
+    movement="lazy-adoption",
+)
 
 
 #: The single source of truth for engine variants.  Order is the
@@ -81,62 +130,75 @@ ENGINE_SPECS: dict[str, EngineSpec] = {
             lambda substrate: LevelDBTree(substrate=substrate),
             "db",
             "LevelDB-style leveled tree with a DB block cache",
+            _LEVELED_CURSOR,
         ),
         EngineSpec(
             "leveldb-oscache",
             lambda substrate: LevelDBTree(substrate=substrate),
             "os",
             "LevelDB on an OS page cache only (Fig. 2 configuration)",
+            _LEVELED_CURSOR,
         ),
         EngineSpec(
             "blsm",
             lambda substrate: BLSMTree(substrate=substrate),
             "db",
             "bLSM: gear-scheduled leveled tree",
+            _LEVELED_CURSOR,
         ),
         EngineSpec(
             "blsm-dual",
             lambda substrate: BLSMTree(substrate=substrate),
             "dual",
             "bLSM with DB cache + quarter-budget OS page cache",
+            _LEVELED_CURSOR,
         ),
         EngineSpec(
             "sm",
             lambda substrate: SMTree(substrate=substrate),
             "db",
             "Stepped-merge tree: lazy multi-table levels",
+            _STEPPED_MERGE,
         ),
         EngineSpec(
             "lsbm",
             lambda substrate: LSbMTree(substrate=substrate),
             "db",
             "LSbM-tree: bLSM plus the compaction buffer",
+            _LEVELED_ADOPTING,
         ),
         EngineSpec(
             "lsbm-dual",
             lambda substrate: LSbMTree(substrate=substrate),
             "dual",
             "LSbM with DB cache + quarter-budget OS page cache",
+            _LEVELED_ADOPTING,
         ),
         EngineSpec(
             "blsm+warmup",
             lambda substrate: WarmupBLSMTree(substrate=substrate),
             "db",
             "bLSM with incremental cache warm-up after compactions",
+            _LEVELED_CURSOR,
         ),
         EngineSpec(
             "blsm+kvcache",
             lambda substrate: KVCachedBLSM(substrate=substrate),
             "self",
             "bLSM behind a key-value row cache (half the cache budget)",
+            _LEVELED_CURSOR,
         ),
         EngineSpec(
             "hbase",
+            # The major-compaction period comes from the config so it is
+            # sweepable (``--set major_interval_s=...``); 0 disables.
             lambda substrate: HBaseStyleStore(
-                substrate=substrate, major_interval_s=5_000
+                substrate=substrate,
+                major_interval_s=substrate.config.major_interval_s or None,
             ),
             "db",
             "HBase-style store with periodic major compactions",
+            _FLAT_STORE,
         ),
         EngineSpec(
             "hbase-nomajor",
@@ -145,6 +207,50 @@ ENGINE_SPECS: dict[str, EngineSpec] = {
             ),
             "db",
             "HBase-style store with major compactions disabled",
+            _FLAT_STORE,
+        ),
+        EngineSpec(
+            "design",
+            # The dynamic point: axes come from the config's
+            # ``compaction_*`` fields, so every axis is sweepable
+            # (``--set compaction_layout=tiering,lazy-leveling``).
+            lambda substrate: ComposedTree(substrate=substrate),
+            "db",
+            "Composed engine; axes read from the config's compaction_*",
+        ),
+        EngineSpec(
+            "tiering",
+            lambda substrate: ComposedTree(substrate=substrate, axes=_TIERING),
+            "db",
+            "Size-tiered levels, incremental oldest-pair merges",
+            _TIERING,
+        ),
+        EngineSpec(
+            "tiering+buffer",
+            lambda substrate: ComposedTree(
+                substrate=substrate, axes=_TIERING_BUFFERED
+            ),
+            "db",
+            "Tiering with merge inputs adopted into a compaction buffer",
+            _TIERING_BUFFERED,
+        ),
+        EngineSpec(
+            "lazy-leveling",
+            lambda substrate: ComposedTree(
+                substrate=substrate, axes=_LAZY_LEVELING
+            ),
+            "db",
+            "Tiered upper levels over a single-run last level (Dostoevsky)",
+            _LAZY_LEVELING,
+        ),
+        EngineSpec(
+            "lazy-leveling+buffer",
+            lambda substrate: ComposedTree(
+                substrate=substrate, axes=_LAZY_LEVELING_BUFFERED
+            ),
+            "db",
+            "Lazy-leveling with the LSbM compaction buffer on top",
+            _LAZY_LEVELING_BUFFERED,
         ),
     )
 }

@@ -28,6 +28,7 @@ approach does not solve the cache-invalidation problem — the
 from __future__ import annotations
 
 from repro.lsm.base import GetResult, LSMEngine, ReadCost, ScanResult
+from repro.lsm.policy import FlatStorePolicy
 from repro.obs.events import CompactionEnd, CompactionStart
 from repro.sstable.entry import Entry
 from repro.sstable.iterator import merge_entries, merge_with_obsolete_count
@@ -67,17 +68,13 @@ class HBaseStyleStore(LSMEngine):
         self._last_major_s = 0
         self.minor_compactions = 0
         self.major_compactions = 0
+        #: HBase's design point (saturation-triggered minors; the
+        #: time-triggered major stays on ``tick`` below).
+        self.policy = FlatStorePolicy()
 
     # ------------------------------------------------------------------
-    # Compactions.
+    # Compactions (pass control flow in FlatStorePolicy).
     # ------------------------------------------------------------------
-    def _do_compactions(self) -> None:
-        if self.memtable.size_kb >= self.config.level0_size_kb:
-            files = self._flush_memtable_to_files()
-            self.tables.append(SortedTable(files))
-        while len(self.tables) > self.max_store_files:
-            self._minor_compaction()
-
     def tick(self, now: int) -> None:
         super().tick(now)
         if (

@@ -811,3 +811,75 @@ class TestReportFromFile:
         assert main(["report"]) == 2
         err = capsys.readouterr().err
         assert "--engine or --from" in err
+
+
+class TestEnginesCommand:
+    def test_table_lists_design_points(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "design point" in out
+        assert "leveling/partial (size-ratio, merge)" in out
+        assert "lazy-leveling" in out
+        assert "from config" in out  # The dynamic `design` engine.
+
+    def test_json_carries_axes(self, capsys):
+        assert main(["engines", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in entries}
+        assert by_name["lsbm"]["axes"]["movement"] == "lazy-adoption"
+        assert by_name["sm"]["axes"]["layout"] == "tiering"
+        assert by_name["design"]["axes"] is None
+        assert by_name["hbase"]["axes"]["trigger"] == "level-saturation"
+        assert all(
+            {"name", "wiring", "summary", "axes"} <= set(entry)
+            for entry in entries
+        )
+
+
+class TestTuneCommand:
+    _ARGS = [
+        "tune",
+        "--engines",
+        "design",
+        "--set",
+        "compaction_layout=leveling,tiering",
+        "--seeds",
+        "0",
+        "--scale",
+        "8192",
+        "--duration",
+        "600",
+    ]
+
+    def test_tune_prints_ranking_and_winner(self, capsys):
+        assert main(self._ARGS) == 0
+        out = capsys.readouterr().out
+        assert "objective: hit-stability" in out
+        assert "winner:" in out
+        assert "rank" in out and "hit floor" in out
+        assert "advantage" in out
+
+    def test_tune_json_payload_is_bench_schema(self, capsys):
+        from benchmarks.common import validate_bench
+
+        assert main(self._ARGS + ["--jobs", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_bench(payload)
+        assert payload["name"] == "design_space"
+        assert payload["tune"]["objective"] == "hit-stability"
+        assert len(payload["tune"]["candidates"]) == 2
+        assert payload["tune"]["winner"]["cell"]
+
+    def test_tune_out_writes_payload(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_design_space.json"
+        assert main(self._ARGS + ["--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["tune"]["winner"]["engine"] == "design"
+
+    def test_tune_rejects_unknown_engine(self, capsys):
+        assert main(["tune", "--engines", "nope"]) == 2
+        assert "unknown engines" in capsys.readouterr().err
+
+    def test_tune_rejects_bad_axis(self, capsys):
+        assert main(["tune", "--set", "not_a_field=1"]) == 2
+        assert "not_a_field" in capsys.readouterr().err

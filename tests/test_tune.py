@@ -1,0 +1,133 @@
+"""Design-space tuner tests: scoring, determinism, payload schema."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.metrics import TimeSeries
+from repro.sim.tune import (
+    OBJECTIVES,
+    CandidateScore,
+    run_tune,
+    series_floor,
+)
+
+#: Small but non-trivial search: the design engine over a layout axis,
+#: at a scale/duration where the candidates genuinely diverge quickly.
+TUNE_KWARGS = dict(
+    engines=("design",),
+    seeds=(0, 1),
+    axes={"compaction_layout": ("leveling", "tiering")},
+    scale=8192,
+    duration_s=600,
+)
+
+
+class TestSeriesFloor:
+    def test_empty_series_scores_zero(self):
+        assert series_floor(TimeSeries("hit_ratio")) == 0.0
+
+    def test_floor_is_low_percentile(self):
+        series = TimeSeries("hit_ratio")
+        # 10% of samples dip to 0.1: the 5th-percentile floor sees them.
+        for i, value in enumerate([0.1] * 10 + [0.9] * 90):
+            series.add(i, value)
+        assert series_floor(series) == pytest.approx(0.1)
+        # A single outlier in 100 samples sits below the 5th percentile
+        # and must NOT drag the floor down — floors resist lone spikes.
+        lone = TimeSeries("hit_ratio")
+        for i, value in enumerate([0.1] + [0.9] * 99):
+            lone.add(i, value)
+        assert series_floor(lone) == pytest.approx(0.9)
+
+    def test_skip_drops_warmup(self):
+        series = TimeSeries("hit_ratio")
+        for i, value in enumerate([0.0] * 10 + [0.8] * 90):
+            series.add(i, value)
+        assert series_floor(series, skip=10) == pytest.approx(0.8)
+
+
+class TestRunTune:
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigError, match="objective"):
+            run_tune(("design",), (0,), "latency-vibes")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="bogus"):
+            run_tune(("bogus",), (0,), "hit-stability")
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_tune(objective="hit-stability", jobs=1, **TUNE_KWARGS)
+
+    def test_candidates_are_ranked_and_scored(self, serial):
+        assert len(serial.candidates) == 2
+        assert all(isinstance(c, CandidateScore) for c in serial.candidates)
+        keys = {c.key for c in serial.candidates}
+        assert len(keys) == 2
+        direction, _ = OBJECTIVES["hit-stability"]
+        assert direction == "max"
+        scores = [c.score for c in serial.candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_every_candidate_aggregates_both_seeds(self, serial):
+        for candidate in serial.candidates:
+            assert sorted(candidate.seeds) == [0, 1]
+            assert set(candidate.evidence) == {
+                "hit_floor", "hit_dips", "stall_seconds",
+                "compaction_write_kb",
+            }
+
+    def test_winner_is_jobs_independent(self, serial):
+        """The acceptance criterion: same winner at --jobs 1 and --jobs N."""
+        parallel = run_tune(objective="hit-stability", jobs=2, **TUNE_KWARGS)
+        assert parallel.winner.key == serial.winner.key
+        assert [c.key for c in parallel.candidates] == [
+            c.key for c in serial.candidates
+        ]
+        assert [c.score for c in parallel.candidates] == [
+            c.score for c in serial.candidates
+        ]
+
+    def test_explanation_compares_winner_to_runner_up(self, serial):
+        explanation = serial.explanation()
+        assert serial.winner.key in explanation["summary"]
+        deltas = explanation["deltas"]
+        assert set(deltas) == set(serial.candidates[0].evidence)
+        for entry in deltas.values():
+            assert set(entry) == {"winner", "runner_up", "advantage"}
+
+    def test_payload_passes_bench_schema(self, serial, tmp_path):
+        from benchmarks.common import validate_bench
+
+        payload = serial.to_payload("design_space")
+        validate_bench(payload)
+        assert payload["name"] == "design_space"
+        tune = payload["tune"]
+        assert tune["objective"] == "hit-stability"
+        assert tune["winner"]["cell"] == serial.winner.key
+        assert len(tune["candidates"]) == 2
+        assert payload["scalars"]["tune_candidates"] == 2.0
+        # The payload must survive a JSON round trip (CI archives it).
+        path = tmp_path / "BENCH_design_space.json"
+        path.write_text(json.dumps(payload, sort_keys=True))
+        validate_bench(json.loads(path.read_text()))
+
+
+class TestServeObjective:
+    def test_p99_objective_ranks_via_serve_layer(self):
+        outcome = run_tune(
+            ("blsm",),
+            (0,),
+            "p99",
+            scale=8192,
+            duration_s=400,
+            rate_qps=500.0,
+        )
+        assert len(outcome.candidates) == 1
+        assert outcome.winner.engine == "blsm"
+        assert outcome.winner.key.startswith("serve/")
+        assert outcome.winner.score > 0
+        explanation = outcome.explanation()
+        assert "only candidate" in explanation["summary"]
