@@ -1,0 +1,199 @@
+"""Adaptive runtime control — feedback vs every static memory split.
+
+A static cache/memtable split is a bet on one workload phase.  Under a
+time-varying load — diurnal swings in offered rate, alternating
+read-heavy and write-heavy pressure — whichever split the operator
+picks is wrong for part of the day: cache-heavy stalls through the
+write peaks, memtable-heavy wastes the read valleys.  The closed-loop
+controller (:mod:`repro.control`) re-divides the same total memory at
+runtime from live stall/deferral/hit-ratio sensors, so it can be
+memtable-heavy *during* the write peaks and give the memory back when
+the tide goes out.
+
+This benchmark drives two time-varying workloads — a read-leaning and a
+write-leaning diurnal mix — over the full static grid (default,
+memtable-heavy, cache-heavy; all the same total memory) plus both
+feedback policies, and asserts the ``rules`` controller strictly beats
+the *best* static configuration on goodput or read p99 on every
+workload.  That is the subsystem's reason to exist: no single static
+point wins both phases, the feedback loop does.
+
+Knobs: ``REPRO_BENCH_SCALE``/``REPRO_BENCH_JOBS`` as everywhere, plus
+``REPRO_BENCH_ADAPT_DURATION`` (default 600 virtual seconds — ~1.5
+diurnal periods, enough for the controller to converge and the phases
+to differ) and ``REPRO_BENCH_ADAPT_SEED`` (default 0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.config import SystemConfig
+from repro.serve import ServeResult
+from repro.serve.spec import ServiceSpec
+from repro.sim.report import ascii_table
+from repro.sim.sweep import run_sweep
+
+from .common import (
+    BENCH_JOBS,
+    BENCH_SCALE,
+    RESULTS_DIR,
+    validate_bench,
+    write_report,
+)
+
+ADAPT_DURATION = int(os.environ.get("REPRO_BENCH_ADAPT_DURATION", "600"))
+ADAPT_SEED = int(os.environ.get("REPRO_BENCH_ADAPT_SEED", "0"))
+CONTROL_INTERVAL_S = 20
+
+#: The two time-varying offered loads (paper-scale QPS, sinusoidal
+#: rate with the default ±60% diurnal swing): one leaning on reads,
+#: one leaning on writes, both near the warm-capacity knee so the
+#: peaks genuinely overload the write path.
+WORKLOADS = {
+    "diurnal-read": dict(read_rate_qps=8000.0, write_rate_qps=10000.0),
+    "diurnal-write": dict(read_rate_qps=6000.0, write_rate_qps=20000.0),
+}
+
+
+def memory_splits(config: SystemConfig) -> dict[str, tuple]:
+    """The static cache/memtable divisions of one total memory budget.
+
+    Every split conserves ``cache_size_kb + level0_size_kb`` so the
+    statics and the controller all manage the same bytes — the
+    comparison is purely about *where* they sit.
+    """
+    total = config.cache_size_kb + config.level0_size_kb
+    memtable_heavy = config.level0_size_kb * 4
+    cache_heavy = max(config.file_size_kb, config.level0_size_kb // 3)
+    return {
+        "static-default": (),
+        "static-memtable-heavy": (
+            ("cache_size_kb", total - memtable_heavy),
+            ("level0_size_kb", memtable_heavy),
+        ),
+        "static-cache-heavy": (
+            ("cache_size_kb", total - cache_heavy),
+            ("level0_size_kb", cache_heavy),
+        ),
+    }
+
+
+def build_specs() -> dict[tuple[str, str], ServiceSpec]:
+    """(workload, variant) → spec for the statics × controllers grid."""
+    splits = memory_splits(SystemConfig.paper_scaled(BENCH_SCALE))
+    specs: dict[tuple[str, str], ServiceSpec] = {}
+    for workload, rates in WORKLOADS.items():
+        common = dict(
+            engine="lsbm",
+            scale=BENCH_SCALE,
+            duration_s=ADAPT_DURATION,
+            seed=ADAPT_SEED,
+            arrival="diurnal",
+            **rates,
+        )
+        for variant, overrides in splits.items():
+            specs[(workload, variant)] = ServiceSpec(
+                overrides=overrides, **common
+            )
+        for controller in ("rules", "gradient"):
+            specs[(workload, controller)] = ServiceSpec(
+                controller=controller,
+                control_interval_s=CONTROL_INTERVAL_S,
+                **common,
+            )
+    return specs
+
+
+def test_adaptive_controller(benchmark):
+    specs = build_specs()
+    order = list(specs)
+    outcome = benchmark.pedantic(
+        lambda: run_sweep(list(specs.values()), jobs=BENCH_JOBS),
+        rounds=1,
+        iterations=1,
+    )
+    by_label = {run.spec.label(): run.result for run in outcome.outcomes}
+    results: dict[tuple[str, str], ServeResult] = {
+        key: by_label[spec.label()] for key, spec in specs.items()
+    }
+
+    rows = []
+    for workload, variant in order:
+        result = results[(workload, variant)]
+        rows.append(
+            [
+                workload,
+                variant,
+                f"{result.goodput_qps():.0f}",
+                f"{result.class_percentile_ms('readers', 99):.0f}",
+                f"{result.total_shed + result.total_deferred}",
+                f"{len(result.control_decisions)}",
+            ]
+        )
+    report = "\n".join(
+        [
+            "Adaptive runtime control — feedback vs static memory splits",
+            f"(scale {BENCH_SCALE}, {ADAPT_DURATION}s, diurnal arrivals, "
+            f"seed {ADAPT_SEED}, control interval {CONTROL_INTERVAL_S}s)",
+            ascii_table(
+                [
+                    "workload",
+                    "variant",
+                    "goodput QPS",
+                    "read p99 ms",
+                    "shed+deferred",
+                    "decisions",
+                ],
+                rows,
+            ),
+        ]
+    )
+    write_report("adaptive_controller", report)
+
+    payload = outcome.to_payload("adaptive_controller")
+    validate_bench(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_adaptive_controller.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench telemetry written to {path}]")
+
+    statics = [v for v in memory_splits(SystemConfig.paper_scaled(BENCH_SCALE))]
+    for workload in WORKLOADS:
+        # Both feedback policies actually closed the loop…
+        for controller in ("rules", "gradient"):
+            controlled = results[(workload, controller)]
+            assert controlled.control_decisions, (
+                f"{controller} made no decisions on {workload}"
+            )
+            assert controlled.event_counts.get("ControlDecision", 0) == len(
+                controlled.control_decisions
+            )
+        # …and the rules controller strictly beats the *best* static
+        # split on goodput or read tail — on every time-varying
+        # workload, against every static point of the same total memory.
+        rules = results[(workload, "rules")]
+        best_static_goodput = max(
+            results[(workload, v)].goodput_qps() for v in statics
+        )
+        best_static_p99 = min(
+            results[(workload, v)].class_percentile_ms("readers", 99)
+            for v in statics
+        )
+        assert (
+            rules.goodput_qps() > best_static_goodput
+            or rules.class_percentile_ms("readers", 99) < best_static_p99
+        ), (
+            f"{workload}: rules goodput {rules.goodput_qps():.0f} vs best "
+            f"static {best_static_goodput:.0f}; p99 "
+            f"{rules.class_percentile_ms('readers', 99):.0f} vs best "
+            f"static {best_static_p99:.0f}"
+        )
+        # The adaptive run also never does worse than the *default*
+        # static split on either axis (it starts from that very point).
+        default = results[(workload, "static-default")]
+        assert rules.goodput_qps() > default.goodput_qps()
+        assert rules.class_percentile_ms("readers", 99) <= (
+            default.class_percentile_ms("readers", 99)
+        )

@@ -20,7 +20,7 @@ from collections.abc import Callable
 
 from repro.cache.policy import LRUPolicy, ReplacementPolicy
 from repro.cache.stats import CacheStats
-from repro.obs.events import CacheInvalidated, EventBus
+from repro.obs.events import CacheInvalidated, CacheResized, EventBus
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 #: A cached block's identity: ``(file_id, block_index)``.
@@ -113,6 +113,45 @@ class DBBufferCache:
     def usage(self) -> float:
         """Resident blocks as a fraction of capacity (Fig. 8's dashed line)."""
         return len(self._policy) / self._capacity
+
+    def resize(self, capacity_blocks: int) -> int:
+        """Change the cache's capacity in place; returns blocks evicted.
+
+        Shrinking evicts policy victims immediately (counted as ordinary
+        evictions, eviction hook included) until the resident set fits;
+        growing just raises the bound — the extra room fills through
+        normal inserts, so a grow never disturbs the resident set.
+        Publishes :class:`~repro.obs.events.CacheResized` when bound to a
+        bus, so dip diagnosis can attribute the resulting misses.
+        """
+        if capacity_blocks < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity_blocks}")
+        old = self._capacity
+        if capacity_blocks == old:
+            return 0
+        self._capacity = capacity_blocks
+        evicted = 0
+        while len(self._policy) > self._capacity:
+            victim = self._policy.evict()
+            self._forget(victim)  # type: ignore[arg-type]
+            self.stats.evictions += 1
+            evicted += 1
+            if self.eviction_hook is not None:
+                self.eviction_hook(victim[0], victim[1])  # type: ignore[index]
+        bus = self._bus
+        if bus is not None and bus.active:
+            if bus.counting_only:
+                bus.count(CacheResized)
+            else:
+                bus.emit(
+                    CacheResized(
+                        cache=self._obs_name,
+                        old_capacity=old,
+                        new_capacity=capacity_blocks,
+                        evicted=evicted,
+                    )
+                )
+        return evicted
 
     def contains(self, file_id: int, block_index: int) -> bool:
         return (file_id, block_index) in self._policy

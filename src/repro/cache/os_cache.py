@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.cache.policy import LRUPolicy, ReplacementPolicy
 from repro.cache.stats import CacheStats
-from repro.obs.events import EventBus
+from repro.obs.events import CacheResized, EventBus
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 
@@ -59,6 +59,8 @@ class OSBufferCache:
         the hot paths bump plain ints, flushed into the counters on every
         registry flush/snapshot.
         """
+        self._obs_name = name
+        self._bus = bus
         self._m_hits = registry.counter(f"cache.{name}.hits")
         self._m_misses = registry.counter(f"cache.{name}.misses")
         self._m_evictions = registry.counter(f"cache.{name}.evictions")
@@ -101,6 +103,39 @@ class OSBufferCache:
 
     def _page_of(self, address_kb: int) -> int:
         return address_kb // self._page_size_kb
+
+    def resize(self, capacity_pages: int) -> int:
+        """Change the page cache's capacity; returns pages evicted.
+
+        Same contract as :meth:`DBBufferCache.resize`: a shrink evicts
+        victims immediately (ordinary evictions), a grow only raises the
+        bound and fills through normal inserts.
+        """
+        if capacity_pages < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity_pages}")
+        old = self._capacity
+        if capacity_pages == old:
+            return 0
+        self._capacity = capacity_pages
+        evicted = 0
+        while len(self._policy) > self._capacity:
+            self._policy.evict()
+            self.stats.evictions += 1
+            evicted += 1
+        bus = self._bus
+        if bus is not None and bus.active:
+            if bus.counting_only:
+                bus.count(CacheResized)
+            else:
+                bus.emit(
+                    CacheResized(
+                        cache=self._obs_name,
+                        old_capacity=old,
+                        new_capacity=capacity_pages,
+                        evicted=evicted,
+                    )
+                )
+        return evicted
 
     # ------------------------------------------------------------------
     # Access paths.

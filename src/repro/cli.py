@@ -133,6 +133,26 @@ def _add_tracing(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_control(parser: argparse.ArgumentParser) -> None:
+    from repro.control import CONTROLLER_NAMES
+
+    parser.add_argument(
+        "--controller",
+        default="off",
+        choices=CONTROLLER_NAMES,
+        help="runtime feedback controller: 'static' (inert anchor), "
+        "'rules' (banded hysteresis) or 'gradient' (hill-climb); "
+        "default off",
+    )
+    parser.add_argument(
+        "--control-interval",
+        type=int,
+        default=30,
+        metavar="SECONDS",
+        help="virtual seconds between control ticks (default 30)",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -662,6 +682,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             trace_slo_s=args.trace_slo,
             trace_stall_spike_s=args.trace_stall_spike,
             trace_dip_threshold=args.trace_dip,
+            controller=args.controller,
+            control_interval_s=args.control_interval,
         )
     except (ConfigError, ValueError) as error:
         print(f"serve: {error}", file=sys.stderr)
@@ -761,6 +783,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             "trace_slo_s": args.trace_slo,
             "trace_stall_spike_s": args.trace_stall_spike,
             "trace_dip_threshold": args.trace_dip,
+            "controller": args.controller,
+            "control_interval_s": args.control_interval,
         }
         if args.write_rate is not None:
             common["write_rate_qps"] = args.write_rate
@@ -1158,12 +1182,22 @@ def _report_from_file(args: argparse.Namespace) -> int:
     if "reads_completed" in payload:
         _render_run_entry(args.from_file, payload)
         return 0
+    # Unrecognized kinds (a newer schema, a foreign tool's dump — e.g.
+    # a ``"kind": "control"`` decision log) still render their digest
+    # and any bench metadata instead of erroring, so re-rendering never
+    # breaks on payloads this build doesn't know how to pretty-print.
     print(
-        f"report: unrecognized payload shape in {args.from_file} "
-        f"(expected a bench payload or a lossless serve/cluster result)",
-        file=sys.stderr,
+        f"payload {payload.get('name', args.from_file)!r}: "
+        f"unrecognized kind {kind!r}; showing digest"
     )
-    return 2
+    for key in ("name", "schema_version", "generated_by", "bench"):
+        if key in payload:
+            print(f"  {key}: {payload[key]}")
+    digest = _report_digest(payload)
+    for key, value in sorted(digest.items()):
+        if value is not None:
+            print(f"  {key}: {value}")
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -1292,6 +1326,8 @@ def cmd_top(args: argparse.Namespace) -> int:
             trace_slo_s=args.trace_slo,
             trace_stall_spike_s=args.trace_stall_spike,
             trace_dip_threshold=args.trace_dip,
+            controller=args.controller,
+            control_interval_s=args.control_interval,
         )
     except ConfigError as error:
         print(f"top: {error}", file=sys.stderr)
@@ -1299,6 +1335,8 @@ def cmd_top(args: argparse.Namespace) -> int:
     interval = max(1, args.refresh)
     live = sys.stdout.isatty() and not args.plain
     headers = ["shard", "reads", "writes", "p99 ms", "hit", "stall s"]
+    if spec.controller != "off":
+        headers = headers + ["ctl"]
 
     def on_tick(tick: int, sessions) -> None:
         now = tick + 1
@@ -1314,14 +1352,17 @@ def cmd_top(args: argparse.Namespace) -> int:
                 if result.hit_ratio.values
                 else 0.0
             )
-            rows.append([
+            row = [
                 str(shard),
                 str(result.reads_completed),
                 str(result.writes_applied),
                 f"{result.latency_percentile_s(99) * 1000:.2f}",
                 f"{hit:.3f}",
                 f"{result.stall_seconds:.1f}",
-            ])
+            ]
+            if spec.controller != "off":
+                row.append(str(len(result.control_decisions)))
+            rows.append(row)
         if live:
             sys.stdout.write("\x1b[H\x1b[2J")
         print(f"repro top — {spec.label()} — t={now}s")
@@ -1345,6 +1386,12 @@ def cmd_top(args: argparse.Namespace) -> int:
         str(result.total_shed),
         str(result.total_deferred),
     ]]))
+    if spec.controller != "off":
+        total = sum(len(s.control_decisions) for s in result.shards)
+        print(
+            f"controller {spec.controller}: {total} decisions "
+            f"across {result.num_shards} shards"
+        )
     if any(shard.trace_mode != "off" for shard in result.shards):
         worst = result.worst_exemplars(5)
         if worst:
@@ -1676,7 +1723,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--arrival",
         default="poisson",
-        choices=("poisson", "bursty"),
+        choices=("poisson", "bursty", "diurnal"),
         help="arrival process for all client classes (default poisson)",
     )
     serve.add_argument(
@@ -1720,6 +1767,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="write the bench-schema payload to this file"
     )
     _add_tracing(serve)
+    _add_control(serve)
     serve.set_defaults(func=cmd_serve)
 
     trace = commands.add_parser(
@@ -1797,7 +1845,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--arrival",
         default="poisson",
-        choices=("poisson", "bursty"),
+        choices=("poisson", "bursty", "diurnal"),
         help="arrival process (default poisson)",
     )
     cluster.add_argument(
@@ -1872,6 +1920,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="write the bench-schema payload to this file"
     )
     _add_tracing(cluster)
+    _add_control(cluster)
     cluster.set_defaults(func=cmd_cluster)
 
     top = commands.add_parser(
@@ -1899,7 +1948,7 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--arrival",
         default="poisson",
-        choices=("poisson", "bursty"),
+        choices=("poisson", "bursty", "diurnal"),
         help="arrival process (default poisson)",
     )
     top.add_argument(
@@ -1938,6 +1987,7 @@ def build_parser() -> argparse.ArgumentParser:
         "registry to this file",
     )
     _add_tracing(top)
+    _add_control(top)
     top.set_defaults(func=cmd_top)
 
     report = commands.add_parser(

@@ -74,6 +74,10 @@ class ClusterSpec:
     trace_slo_s: float = 1.0
     trace_stall_spike_s: float = 0.25
     trace_dip_threshold: float = 0.7
+    #: Per-shard runtime controller (see ServiceSpec.controller); each
+    #: shard runs its own independent control loop over its own stack.
+    controller: str = "off"
+    control_interval_s: int = 30
     #: Live shard-split schedule (None = no split).
     split_at_s: int | None = None
     split_source: int = 0
@@ -158,6 +162,8 @@ class ClusterSpec:
             trace_slo_s=self.trace_slo_s,
             trace_stall_spike_s=self.trace_stall_spike_s,
             trace_dip_threshold=self.trace_dip_threshold,
+            controller=self.controller,
+            control_interval_s=self.control_interval_s,
         )
 
     def config(self) -> SystemConfig:
@@ -271,6 +277,8 @@ class ClusterSpec:
             trace_slo_s=serve.trace_slo_s,
             trace_stall_spike_s=serve.trace_stall_spike_s,
             trace_dip_threshold=serve.trace_dip_threshold,
+            controller=serve.controller,
+            control_interval_s=serve.control_interval_s,
             split_at_s=(
                 None
                 if payload.get("split_at_s") is None

@@ -1,0 +1,31 @@
+"""Adaptive runtime control: close the loop from live metrics to knobs.
+
+The serve layer's sensors (stall deltas, cache hit ratio, queue depth,
+deferral pressure) feed a per-run :class:`~repro.control.controller.Controller`
+that drives three actuator families — memory rebalancing between the
+serving cache and the memtable budget, compaction pacing (trim retune,
+major-compaction interval), and admission thresholds.  Every decision is
+a structured :class:`~repro.obs.events.ControlDecision` bus event plus a
+plain dict riding the lossless result transport, so controller runs stay
+jobs-independent and re-renderable.
+"""
+
+from repro.control.controller import (
+    CONTROLLER_NAMES,
+    Controller,
+    ControlSensors,
+    GradientController,
+    RulesController,
+    StaticController,
+    make_controller,
+)
+
+__all__ = [
+    "CONTROLLER_NAMES",
+    "Controller",
+    "ControlSensors",
+    "GradientController",
+    "RulesController",
+    "StaticController",
+    "make_controller",
+]

@@ -45,6 +45,33 @@ class TrimProcess:
         self.files_trimmed = 0
         self.runs = 0
 
+    @property
+    def threshold(self) -> float:
+        """Live cached-fraction threshold below which a file is trimmed."""
+        return self._threshold
+
+    @property
+    def interval_s(self) -> int:
+        """Live virtual seconds between trim passes."""
+        return self._interval
+
+    def retune(
+        self,
+        threshold: float | None = None,
+        interval_s: int | None = None,
+    ) -> None:
+        """Move the trim knobs mid-run (runtime-controller actuator).
+
+        A higher threshold trims more aggressively (files must be hotter
+        to stay buffered); a longer interval defers trim I/O-free passes
+        but lets cold files linger.  Values are clamped to the same
+        ranges :class:`~repro.config.SystemConfig` validates.
+        """
+        if threshold is not None:
+            self._threshold = min(1.0, max(0.05, float(threshold)))
+        if interval_s is not None:
+            self._interval = max(1, int(interval_s))
+
     def due(self, now: int) -> bool:
         return self._last_run is None or now - self._last_run >= self._interval
 

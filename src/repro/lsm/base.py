@@ -33,6 +33,7 @@ from repro.obs.events import (
     CompactionStart,
     FileDiscarded,
     FlushDone,
+    MemtableResized,
 )
 from repro.sstable.entry import Kind
 from repro.bloom.hashing import probe_mask
@@ -248,6 +249,12 @@ class LSMEngine(ABC):
             self._m_stall_seconds.value,
         )
         self.registry.register_flush(self._publish_metrics)
+        #: Live write-buffer budget in KB: the bound level 0 is held to by
+        #: the flush/gear triggers and the write-stall threshold.  Starts
+        #: at (and without a runtime controller stays forever equal to)
+        #: ``config.level0_size_kb``; the adaptive controller's memory
+        #: actuator moves it via :meth:`set_memtable_budget`.
+        self.memtable_budget_kb = self.config.level0_size_kb
         self._seq = 0
         #: Highest flushed seq whose WAL prefix still awaits truncation.
         #: Truncation is deferred to the end of the compaction pass so a
@@ -287,12 +294,34 @@ class LSMEngine(ABC):
         drain; gear-scheduled engines override this to count the on-disk
         ``C0'`` half of level 0 as well.
         """
-        return self.memtable.size_kb / self.config.level0_size_kb
+        return self.memtable.size_kb / self.memtable_budget_kb
 
     @property
     def write_stalled(self) -> bool:
         """True when the write buffer is full and writes would block."""
         return self.l0_pressure >= 1.0
+
+    def set_memtable_budget(self, budget_kb: int) -> None:
+        """Move the live write-buffer budget (runtime-controller actuator).
+
+        A larger budget lets level 0 absorb bursts before the gear
+        trigger fires (fewer write stalls, at the cost of memory that
+        could cache reads); a smaller one flushes earlier.  Floored at
+        one file so a flush can always materialize.  Publishes
+        :class:`~repro.obs.events.MemtableResized` when the budget
+        actually moves.
+        """
+        budget_kb = max(int(budget_kb), self.config.file_size_kb)
+        old = self.memtable_budget_kb
+        if budget_kb == old:
+            return
+        self.memtable_budget_kb = budget_kb
+        bus = self.bus
+        if bus.active:
+            if bus.counting_only:
+                bus.count(MemtableResized)
+            else:
+                bus.emit(MemtableResized(old_kb=old, new_kb=budget_kb))
 
     # ------------------------------------------------------------------
     # Write path (shared).

@@ -95,7 +95,7 @@ class BLSMTree(LSMEngine):
     @property
     def l0_pressure(self) -> float:
         """Gear level 0 counts both the memtable and the C0' run."""
-        return self.level_total_kb(0) / self.config.level0_size_kb
+        return self.level_total_kb(0) / self.memtable_budget_kb
 
     # ------------------------------------------------------------------
     # The gear scheduler.  Algorithm 1's control flow lives in
@@ -111,7 +111,7 @@ class BLSMTree(LSMEngine):
         # Every put calls this, so skipping the full wrapper matters.
         if (
             self.memtable.size_kb + self.c0_prime.size_kb
-            < self.config.level0_size_kb
+            < self.memtable_budget_kb
             and not self._pending_wal_truncate_seq
         ):
             return

@@ -143,7 +143,7 @@ class ComposedTree(LSMEngine):
         # complete inside the pass — and the WAL-truncate check only
         # matters right after a flush.
         if (
-            self.memtable.size_kb < self.config.level0_size_kb
+            self.memtable.size_kb < self.memtable_budget_kb
             and not self._pending_wal_truncate_seq
         ):
             return

@@ -59,7 +59,7 @@ class LevelDBTree(LSMEngine):
         # marker is only non-zero inside a pass — so below S0 this is a
         # no-op.
         if (
-            self.memtable.size_kb < self.config.level0_size_kb
+            self.memtable.size_kb < self.memtable_budget_kb
             and not self._pending_wal_truncate_seq
         ):
             return

@@ -137,7 +137,7 @@ class LeveledCursorPolicy(CompactionPolicy):
         }
 
     def run(self, engine) -> None:
-        if engine.memtable.size_kb >= engine.config.level0_size_kb:
+        if engine.memtable.size_kb >= engine.memtable_budget_kb:
             engine._flush_and_merge_into_c1()
         for level in range(1, engine.num_levels):
             capacity = engine.config.level_capacity_kb(level)
@@ -186,7 +186,7 @@ class GearPolicy(CompactionPolicy):
         )
 
     def run(self, engine) -> None:
-        while engine.level_total_kb(0) >= engine.config.level0_size_kb:
+        while engine.level_total_kb(0) >= engine.memtable_budget_kb:
             if not self._one_pass(engine):
                 break
 
@@ -198,9 +198,15 @@ class GearPolicy(CompactionPolicy):
         """
         progressed = False
         for level in range(engine.num_levels):  # i from 0 to k-1.
-            if engine.level_total_kb(level) < engine.config.level_capacity_kb(
-                level
-            ):
+            # Level 0's capacity is the *live* write-buffer budget (equal
+            # to S0 unless a runtime controller moved it); deeper levels
+            # keep the configured size-ratio curve.
+            capacity = (
+                engine.memtable_budget_kb
+                if level == 0
+                else engine.config.level_capacity_kb(level)
+            )
+            if engine.level_total_kb(level) < capacity:
                 break
             source = engine._source(level)
             if not source:
@@ -231,7 +237,7 @@ class SteppedMergePolicy(CompactionPolicy):
     )
 
     def run(self, engine) -> None:
-        if engine.memtable.size_kb >= engine.config.level0_size_kb:
+        if engine.memtable.size_kb >= engine.memtable_budget_kb:
             files = engine._flush_memtable_to_files()
             engine.levels[1].append(SortedTable(files))
         for level in range(1, engine.num_levels + 1):
@@ -259,7 +265,7 @@ class FlatStorePolicy(CompactionPolicy):
     )
 
     def run(self, engine) -> None:
-        if engine.memtable.size_kb >= engine.config.level0_size_kb:
+        if engine.memtable.size_kb >= engine.memtable_budget_kb:
             files = engine._flush_memtable_to_files()
             engine.tables.append(SortedTable(files))
         while len(engine.tables) > engine.max_store_files:
@@ -281,7 +287,7 @@ class ComposedPolicy(CompactionPolicy):
         self.axes = axes
 
     def run(self, engine) -> None:
-        if engine.memtable.size_kb >= engine.config.level0_size_kb:
+        if engine.memtable.size_kb >= engine.memtable_budget_kb:
             engine._flush_pass()
         last = engine.num_levels
         for level in range(1, last + 1):

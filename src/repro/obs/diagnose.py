@@ -31,13 +31,21 @@ if TYPE_CHECKING:  # repro.sim imports repro.obs — keep this one-way.
 #: Event types that can causally explain a hit-ratio dip.
 #: ``RangeMigrated`` joined with the cluster tier: a shard that adopts
 #: (or loses) a key range mid-run serves a cold slice of the keyspace,
-#: which dips its cache exactly like an invalidation does.
+#: which dips its cache exactly like an invalidation does.  The control
+#: events joined with the adaptive runtime controller: a shrink evicts
+#: resident hot blocks (``CacheResized``), a memory rebalance shifts the
+#: miss budget (``MemtableResized``), and the decision record itself
+#: (``ControlDecision``) lets attribution name the controller rather
+#: than misblame a coincident compaction.
 CAUSAL_EVENT_TYPES = (
     "CacheInvalidated",
     "CompactionEnd",
     "TrimRun",
     "BufferFrozen",
     "RangeMigrated",
+    "CacheResized",
+    "MemtableResized",
+    "ControlDecision",
 )
 
 #: How many example events each diagnosis transcribes (tallies stay full).

@@ -25,6 +25,9 @@ event                     emitted when
 :class:`RequestShed`      the service layer dropped a request (admission)
 :class:`WriteDeferred`    admission control deferred a write with retry-after
 :class:`RangeMigrated`    a cluster split moved a key range between shards
+:class:`CacheResized`     a runtime controller changed a cache's capacity
+:class:`MemtableResized`  a runtime controller moved the write-buffer budget
+:class:`ControlDecision`  the runtime controller actuated one knob
 ========================= ==================================================
 
 The file events form a *ledger*: every ``FileCreated`` must eventually be
@@ -212,6 +215,52 @@ class RangeMigrated:
     peer: int
 
 
+@dataclass(frozen=True, slots=True)
+class CacheResized:
+    """A runtime controller changed a cache's capacity mid-run.
+
+    ``cache`` names the resized cache ("db_cache" or "os_cache"),
+    capacities are in the cache's own units (blocks or pages), and
+    ``evicted`` counts the entries dropped to fit a shrink (0 on grow —
+    a grown cache adopts incrementally through normal inserts).
+    """
+
+    cache: str
+    old_capacity: int
+    new_capacity: int
+    evicted: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class MemtableResized:
+    """A runtime controller moved the engine's write-buffer budget.
+
+    The budget bounds level 0 (memtable + C0') for the gear trigger and
+    the write-stall threshold; both budgets are in KB.
+    """
+
+    old_kb: int
+    new_kb: int
+
+
+@dataclass(frozen=True, slots=True)
+class ControlDecision:
+    """The runtime controller actuated one knob.
+
+    ``controller`` is the policy name ("rules", "gradient", ...),
+    ``action`` a short verb ("grow-cache", "shed-writes", ...), ``knob``
+    the actuated parameter, with its ``old`` and ``new`` values and the
+    sensor ``reason`` that drove the decision.
+    """
+
+    controller: str
+    action: str
+    knob: str
+    old: float
+    new: float
+    reason: str
+
+
 #: Union of every event type, for subscribers that want static typing.
 Event = (
     FlushDone
@@ -227,6 +276,9 @@ Event = (
     | RequestShed
     | WriteDeferred
     | RangeMigrated
+    | CacheResized
+    | MemtableResized
+    | ControlDecision
 )
 
 Handler = Callable[[Event], None]

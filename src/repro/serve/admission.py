@@ -16,6 +16,7 @@ lost request is attributed.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.config import ConfigError
@@ -67,6 +68,26 @@ class AdmissionController:
         self._defer_depth = max(
             1, int(policy.queue_bound * policy.admit_queue_fraction)
         )
+
+    @property
+    def defer_depth(self) -> int:
+        """Queue depth at which writes start deferring."""
+        return self._defer_depth
+
+    def retune(self, **changes: object) -> AdmissionPolicy:
+        """Swap in a policy with ``changes`` applied; returns the new one.
+
+        The runtime controller's admission actuator: thresholds move
+        through the same validated frozen :class:`AdmissionPolicy` (an
+        out-of-range change raises ``ConfigError`` and leaves the old
+        policy in force), and the derived defer depth is recomputed.
+        """
+        policy = dataclasses.replace(self.policy, **changes)  # type: ignore[arg-type]
+        self.policy = policy
+        self._defer_depth = max(
+            1, int(policy.queue_bound * policy.admit_queue_fraction)
+        )
+        return policy
 
     def decide(
         self, request: Request, queue_depth: int, recent_stall_s: float

@@ -115,6 +115,12 @@ class ServeResult(RunResult):
     #: Flight-recorder dumps fired during the run (trigger + ring
     #: window); empty when tracing is off.
     flight_dumps: list[dict] = field(default_factory=list)
+    #: Runtime controller this run used ("off" when uncontrolled).
+    controller: str = "off"
+    #: Every runtime-control decision, in decision order: ``{t,
+    #: controller, action, knob, old, new, reason}``.  Rides the
+    #: lossless transport so jobs=N runs re-render identically.
+    control_decisions: list[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Aggregates.
@@ -182,6 +188,10 @@ class ServeResult(RunResult):
         payload["trace_mode"] = self.trace_mode
         payload["exemplars"] = [dict(e) for e in self.exemplars]
         payload["flight_dumps"] = [dict(d) for d in self.flight_dumps]
+        payload["controller"] = self.controller
+        payload["control_decisions"] = [
+            dict(d) for d in self.control_decisions
+        ]
         return payload
 
     @classmethod
@@ -207,6 +217,10 @@ class ServeResult(RunResult):
         result.exemplars = [dict(e) for e in payload.get("exemplars", [])]
         result.flight_dumps = [
             dict(d) for d in payload.get("flight_dumps", [])
+        ]
+        result.controller = payload.get("controller", "off")
+        result.control_decisions = [
+            dict(d) for d in payload.get("control_decisions", [])
         ]
         return result
 
@@ -239,6 +253,16 @@ class ServeResult(RunResult):
                 entry[key] = stats.latency_s.percentile(percentile) * 1000
             classes[name] = entry
         summary["classes"] = classes
+        if self.controller != "off":
+            knobs = sorted({d["knob"] for d in self.control_decisions})
+            summary["control"] = {
+                "controller": self.controller,
+                "decisions": len(self.control_decisions),
+                "knobs": knobs,
+                "last_decisions": [
+                    dict(d) for d in self.control_decisions[-5:]
+                ],
+            }
         if self.trace_mode != "off":
             summary["trace"] = {
                 "mode": self.trace_mode,

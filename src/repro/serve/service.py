@@ -53,6 +53,7 @@ from repro.obs.tracing import (
     safe_label,
     write_exemplars_jsonl,
 )
+from repro.control import Controller, make_controller
 from repro.serve.admission import ADMIT, DEFER, AdmissionController, AdmissionPolicy
 from repro.serve.arrivals import Request, generate_arrivals
 from repro.serve.result import ClassStats, ServeResult
@@ -101,6 +102,7 @@ class ServiceSimulator:
         observer: DispatchObserver | None = None,
         tracer: RequestTracer | None = None,
         flight: FlightRecorder | None = None,
+        controller: Controller | None = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -120,6 +122,10 @@ class ServiceSimulator:
         if tracer is not None:
             tracer.bind_pricer(self.pricer)
         self.flight = flight
+        # Control off means ``controller`` stays None — like tracing,
+        # the step loop's only added cost is a None check, keeping the
+        # uncontrolled path bit-identical to pre-controller builds.
+        self.controller = controller
         self.metric_cache = engine.metric_cache
         self.event_tally = EventTally(engine.bus)
         #: Deferred writes waiting to re-offer: (retry_at_s, seq, request).
@@ -142,6 +148,9 @@ class ServiceSimulator:
         self._bw_baseline: dict[str, dict[str, float]] = {}
         self._arrived_window = 0
         self._last_sample_tick = 0
+        # Bound last: the controller snapshots loop-state baselines.
+        if controller is not None:
+            controller.bind(self)
 
     # ------------------------------------------------------------------
     # The run loop: begin / step×duration / finish.
@@ -183,6 +192,15 @@ class ServiceSimulator:
         cutoff = now - self.admission.policy.stall_window_s
         while self._stall_window and self._stall_window[0][0] <= cutoff:
             self._stall_window.popleft()
+        controller = self.controller
+        if (
+            controller is not None
+            and now
+            and now % controller.interval_s == 0
+        ):
+            decisions = controller.tick(now)
+            if decisions:
+                result.control_decisions.extend(decisions)
         if now % self._sample_every == 0:
             dt = max(1, now - self._last_sample_tick) if now else 1
             self._sample(
@@ -647,6 +665,7 @@ def prepare_serve(
             out_dir=spec.trace_dir,
             label=safe_label(spec.label()),
         )
+    controller = make_controller(spec.controller, spec.control_interval_s)
     simulator = ServiceSimulator(
         setup.engine,
         config,
@@ -659,6 +678,7 @@ def prepare_serve(
         observer=observer,
         tracer=tracer,
         flight=flight,
+        controller=controller,
     )
     return ServeSession(
         spec=spec, setup=setup, simulator=simulator, duration_s=duration
@@ -673,10 +693,13 @@ def finalize_serve(session: ServeSession, result: ServeResult) -> ServeResult:
     result.arrival = spec.arrival
     result.offered_read_qps = spec.read_rate_qps
     result.ops_scale = config.ops_scale
+    result.controller = spec.controller
     result.config_note = (
         f"serve; policy={spec.policy}; arrival={spec.arrival}; "
         f"rate={spec.read_rate_qps:g}qps"
     )
+    if spec.controller != "off":
+        result.config_note += f"; controller={spec.controller}"
     result.metrics = session.setup.substrate.registry.snapshot()
     tracer = session.simulator.tracer
     if tracer is not None and spec.trace_dir and result.exemplars:

@@ -17,6 +17,8 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.config import SystemConfig
+from repro.control import CONTROLLER_NAMES
+from repro.control.controller import DEFAULT_CONTROL_INTERVAL_S
 from repro.errors import ConfigError
 from repro.obs.prof import DEFAULT_SAMPLE_EVERY
 from repro.obs.tracing import TRACE_MODES
@@ -77,6 +79,12 @@ class ServiceSpec:
     trace_slo_s: float = 1.0
     trace_stall_spike_s: float = 0.25
     trace_dip_threshold: float = 0.7
+    #: Runtime controller: "off" (no controller object, the step loop
+    #: pays one None check), "static" (bound but provably inert),
+    #: "rules" (banded hysteresis) or "gradient" (hill-climb).
+    controller: str = "off"
+    #: Virtual seconds between control ticks.
+    control_interval_s: int = DEFAULT_CONTROL_INTERVAL_S
 
     def __post_init__(self) -> None:
         if self.base not in CONFIG_BASES:
@@ -110,6 +118,13 @@ class ServiceSpec:
             raise ConfigError("trace_stall_spike_s must be >= 0")
         if not 0.0 <= self.trace_dip_threshold <= 1.0:
             raise ConfigError("trace_dip_threshold must be in [0, 1]")
+        if self.controller not in CONTROLLER_NAMES:
+            raise ConfigError(
+                f"unknown controller {self.controller!r}; "
+                f"choose from {CONTROLLER_NAMES}"
+            )
+        if self.control_interval_s < 1:
+            raise ConfigError("control_interval_s must be >= 1")
         # Delegate override validation (field names, sorting) to the
         # experiment spec, then adopt its normalized tuple.
         probe = ExperimentSpec(
@@ -201,6 +216,10 @@ class ServiceSpec:
                     f":{self.trace_stall_spike_s:g}"
                     f":{self.trace_dip_threshold:g}"
                 )
+        if self.controller != "off":
+            parts.append(f"ctl:{self.controller}")
+            if self.control_interval_s != DEFAULT_CONTROL_INTERVAL_S:
+                parts.append(f"ci{self.control_interval_s}")
         return "/".join(parts)
 
     def label(self) -> str:
@@ -237,6 +256,8 @@ class ServiceSpec:
             "trace_slo_s": self.trace_slo_s,
             "trace_stall_spike_s": self.trace_stall_spike_s,
             "trace_dip_threshold": self.trace_dip_threshold,
+            "controller": self.controller,
+            "control_interval_s": self.control_interval_s,
         }
 
     @classmethod
@@ -281,6 +302,10 @@ class ServiceSpec:
             ),
             trace_dip_threshold=float(
                 payload.get("trace_dip_threshold", 0.7)
+            ),
+            controller=payload.get("controller", "off"),
+            control_interval_s=int(
+                payload.get("control_interval_s", DEFAULT_CONTROL_INTERVAL_S)
             ),
         )
 

@@ -800,12 +800,20 @@ class TestReportFromFile:
         self, tmp_path, capsys
     ):
         assert main(["report", "--from", str(tmp_path / "nope.json")]) == 2
-        weird = tmp_path / "weird.json"
-        weird.write_text('{"hello": "world"}')
-        assert main(["report", "--from", str(weird)]) == 2
         not_json = tmp_path / "broken.json"
         not_json.write_text("{")
         assert main(["report", "--from", str(not_json)]) == 2
+        not_object = tmp_path / "list.json"
+        not_object.write_text("[1, 2, 3]")
+        assert main(["report", "--from", str(not_object)]) == 2
+        # A well-formed object of an unknown shape is not an error: it
+        # renders as a digest so foreign or newer payload kinds (e.g.
+        # a "kind": "control" decision log) never break re-rendering.
+        weird = tmp_path / "weird.json"
+        weird.write_text('{"hello": "world"}')
+        capsys.readouterr()
+        assert main(["report", "--from", str(weird)]) == 0
+        assert "unrecognized kind" in capsys.readouterr().out
 
     def test_report_requires_engine_or_from(self, capsys):
         assert main(["report"]) == 2

@@ -30,13 +30,16 @@ from repro.obs.events import (
     BufferFrozen,
     BufferUnfrozen,
     CacheInvalidated,
+    CacheResized,
     CompactionEnd,
     CompactionStart,
+    ControlDecision,
     EventBus,
     EventTally,
     FileCreated,
     FileDiscarded,
     FlushDone,
+    MemtableResized,
     RangeMigrated,
     ReadSpan,
     TrimRun,
@@ -303,6 +306,15 @@ class TestGoldenTrace:
             BufferUnfrozen(level=2),
             RangeMigrated(
                 low=0, high=1024, entries=512, direction="out", peer=1,
+            ),
+            CacheResized(
+                cache="db", old_capacity=192, new_capacity=96, evicted=96,
+            ),
+            MemtableResized(old_kb=12, new_kb=24),
+            ControlDecision(
+                controller="rules", action="grow-memtable",
+                knob="memtable_budget_kb", old=12.0, new=24.0,
+                reason="stall_delta=0.31",
             ),
             ReadSpan(
                 op="get",

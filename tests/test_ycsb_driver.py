@@ -43,6 +43,27 @@ def make_oracle_driver(engine_name="lsbm", seed=3, **workload_kwargs):
     return driver, setup, oracle
 
 
+def make_oracle_core_driver(name, engine_name="lsbm", seed=3):
+    """An oracle-shadowed driver for one named core workload (A-F)."""
+    config = SystemConfig.paper_scaled(8192)
+    setup = build_engine(engine_name, config)
+    preload(setup)
+    oracle = KVOracle()
+    for key in range(config.unique_keys):
+        oracle.put(key, 0)
+    workload = ycsb_core_workload(name, config.unique_keys)
+    driver = YCSBDriver(
+        setup.engine,
+        config,
+        setup.clock,
+        workload,
+        seed=seed,
+        client_threads=64,
+        oracle=oracle,
+    )
+    return driver, setup, oracle
+
+
 class TestYCSBDriver:
     def test_read_only_mix_issues_only_reads(self):
         driver, setup = make_driver(read_proportion=1.0)
@@ -209,6 +230,37 @@ class TestOracleBackedDriver:
             got = setup.engine.get(key)
             assert got.found
             assert got.value == oracle.get(key)[1]
+
+    def test_ycsb_d_latest_values_match_oracle(self):
+        """Workload D: latest-distribution reads chase the insert front;
+        every returned value must match the oracle, including reads of
+        keys inserted moments earlier."""
+        from repro.workload.ycsb import LatestChooser
+
+        driver, setup, oracle = make_oracle_core_driver("D")
+        assert isinstance(driver.workload._chooser, LatestChooser)
+        driver.run(300)
+        inserted = driver.ops_by_kind[OpKind.INSERT]
+        assert inserted > 0
+        assert driver.reads_verified > 50
+        assert driver.read_mismatches == 0
+        # The newest inserted key is readable and its value matches the
+        # oracle's expectation exactly.
+        newest = setup.config.unique_keys + inserted - 1
+        got = setup.engine.get(newest)
+        expect_found, expect_value = oracle.get(newest)
+        assert got.found and expect_found
+        assert got.value == expect_value
+
+    def test_ycsb_e_scan_heavy_values_match_oracle(self):
+        """Workload E: 95% short scans over a growing keyspace; every
+        scanned (key, value) list must match the oracle's range."""
+        driver, _, _ = make_oracle_core_driver("E")
+        driver.run(300)
+        assert driver.ops_by_kind[OpKind.SCAN] > 50
+        assert driver.ops_by_kind[OpKind.INSERT] > 0
+        assert driver.scans_verified > 50
+        assert driver.scan_mismatches == 0
 
     def test_unverified_driver_keeps_counters_at_zero(self):
         driver, _ = make_driver(read_proportion=1.0)
